@@ -1,0 +1,52 @@
+// Command edgebench runs the ablation studies that go beyond the paper's
+// figures: the value of prediction (lookahead windows), the entropy vs
+// quadratic regularization comparison, and the adversarial lower-bound
+// probe. See DESIGN.md §7 and EXPERIMENTS.md ("Beyond the paper").
+//
+// Usage:
+//
+//	edgebench                      # all ablations at the default scale
+//	edgebench -ablation lookahead -users 20 -horizon 12 -reps 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgealloc/internal/experiments"
+)
+
+func main() {
+	var (
+		ablation = flag.String("ablation", "all",
+			"study to run: lookahead, regularizer, adversarial, or 'all'")
+		users   = flag.Int("users", 10, "number of mobile users J")
+		horizon = flag.Int("horizon", 8, "number of time slots T")
+		reps    = flag.Int("reps", 2, "independent repetitions")
+		seed    = flag.Int64("seed", 20140212, "base random seed")
+	)
+	flag.Parse()
+
+	p := experiments.Params{
+		Users:   *users,
+		Horizon: *horizon,
+		Reps:    *reps,
+		Seed:    *seed,
+	}
+	studies := []string{*ablation}
+	if *ablation == "all" {
+		studies = []string{"lookahead", "regularizer", "adversarial"}
+	}
+	for _, s := range studies {
+		start := time.Now()
+		res, err := experiments.AblationByName(s, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
+			os.Exit(1)
+		}
+		res.WriteTable(os.Stdout)
+		fmt.Printf("   (%s in %v)\n\n", res.Figure, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,81 @@
+// Command edgesim reproduces the figures of the paper's evaluation
+// section: it builds the §V-A scenarios, runs the atomistic and holistic
+// algorithm groups, normalizes by the offline optimum, and prints the
+// rows/series of the requested figure.
+//
+// Usage:
+//
+//	edgesim -fig 2                      # Figure 2 at the default scale
+//	edgesim -fig all -users 25 -reps 3  # everything, bigger
+//	edgesim -fig 4 -horizon 16 -mu 1    # parameter-impact figure
+//
+// The defaults are laptop-scale; the paper's full scale is
+// -users 300 -horizon 60 -reps 5 (budget hours of CPU for the offline
+// denominators at that size).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgealloc/internal/experiments"
+	"edgealloc/internal/scenario"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to reproduce: 1..5 or 'all'")
+		users   = flag.Int("users", 15, "number of mobile users J")
+		horizon = flag.Int("horizon", 12, "number of time slots T")
+		reps    = flag.Int("reps", 2, "independent repetitions per case")
+		cases   = flag.Int("cases", 3, "test cases (hours) for figures 2-3")
+		seed    = flag.Int64("seed", 20140212, "base random seed")
+		dist    = flag.String("dist", "", "workload distribution override (power|uniform|normal)")
+		mu      = flag.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
+		mig     = flag.Float64("migscale", 0, "migration price scale (0 = default 1)")
+		reconf  = flag.Float64("reconf", 0, "mean reconfiguration price (0 = default 1)")
+		sqPrice = flag.Float64("sqprice", 0, "service-quality price per km (0 = default)")
+		vol     = flag.Float64("vol", 0, "op-price volatility (std/base, 0 = default 0.5)")
+	)
+	flag.Parse()
+
+	p := experiments.Params{
+		Users:   *users,
+		Horizon: *horizon,
+		Reps:    *reps,
+		Cases:   *cases,
+		Seed:    *seed,
+		Scenario: scenario.Config{
+			WorkloadDist:    *dist,
+			Mu:              *mu,
+			MigScale:        *mig,
+			ReconfMean:      *reconf,
+			SqPricePerKm:    *sqPrice,
+			PriceVolatility: *vol,
+		},
+	}
+
+	figures := []string{*fig}
+	if *fig == "all" {
+		figures = []string{"1", "2", "3", "4", "5"}
+	}
+	var claimSources []*experiments.Result
+	for _, f := range figures {
+		start := time.Now()
+		res, err := experiments.ByName(f, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgesim: %v\n", err)
+			os.Exit(1)
+		}
+		res.WriteTable(os.Stdout)
+		fmt.Printf("   (%s in %v)\n\n", res.Figure, time.Since(start).Round(time.Millisecond))
+		if f == "2" || f == "3" {
+			claimSources = append(claimSources, res)
+		}
+	}
+	if len(claimSources) > 0 {
+		fmt.Printf("== headline claims ==\n   %s\n", experiments.SummarizeClaims(claimSources...))
+	}
+}

@@ -1,0 +1,138 @@
+// Command lpsolve exposes the repository's dense two-phase simplex solver
+// as a tiny CLI, standing in for the GLPK invocations of the paper's
+// original pipeline. It reads a linear program in a simple text format
+// and prints the optimal point, objective, and constraint duals.
+//
+// Input format (# starts a comment; whitespace-separated):
+//
+//	min: 1 2 3          # objective coefficients (minimization, x >= 0)
+//	c: 1 1 1 >= 10      # one constraint per line: coeffs, sense, rhs
+//	c: 1 -1 0 == 2
+//	c: 0 1 2 <= 8
+//
+// Usage:
+//
+//	lpsolve problem.lp
+//	echo 'min: 1 1
+//	c: 1 2 >= 4' | lpsolve
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"edgealloc/internal/solver/simplex"
+)
+
+func main() {
+	var r io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	p, err := parse(r)
+	if err != nil {
+		fail("parse: %v", err)
+	}
+	sol, err := simplex.Solve(p)
+	if err != nil {
+		fail("solve: %v", err)
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	if sol.Status != simplex.Optimal {
+		os.Exit(2)
+	}
+	fmt.Printf("objective: %.9g\n", sol.Objective)
+	fmt.Printf("iterations: %d\n", sol.Iterations)
+	for j, x := range sol.X {
+		fmt.Printf("x[%d] = %.9g\n", j, x)
+	}
+	for k, y := range sol.Duals {
+		fmt.Printf("dual[%d] = %.9g\n", k, y)
+	}
+}
+
+func parse(r io.Reader) (*simplex.Problem, error) {
+	p := &simplex.Problem{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "min:"):
+			c, err := parseFloats(strings.Fields(text[len("min:"):]))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			p.C = c
+		case strings.HasPrefix(text, "c:"):
+			fields := strings.Fields(text[len("c:"):])
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("line %d: constraint needs coeffs, sense, rhs", line)
+			}
+			senseTok := fields[len(fields)-2]
+			var sense simplex.Sense
+			switch senseTok {
+			case "<=":
+				sense = simplex.LE
+			case ">=":
+				sense = simplex.GE
+			case "==", "=":
+				sense = simplex.EQ
+			default:
+				return nil, fmt.Errorf("line %d: unknown sense %q", line, senseTok)
+			}
+			rhs, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: rhs: %w", line, err)
+			}
+			coeffs, err := parseFloats(fields[:len(fields)-2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			p.Cons = append(p.Cons, simplex.Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs})
+		default:
+			return nil, fmt.Errorf("line %d: expected 'min:' or 'c:' prefix", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.C == nil {
+		return nil, fmt.Errorf("missing 'min:' objective line")
+	}
+	return p, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lpsolve: "+format+"\n", args...)
+	os.Exit(1)
+}

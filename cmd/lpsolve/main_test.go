@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"edgealloc/internal/solver/simplex"
+)
+
+func TestParseWellFormed(t *testing.T) {
+	in := `# a comment
+min: 1 2 3
+c: 1 1 1 >= 10   # inline comment
+c: 1 -1 0 == 2
+
+c: 0 1 2 <= 8
+`
+	p, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.C) != 3 || p.C[1] != 2 {
+		t.Errorf("objective = %v", p.C)
+	}
+	if len(p.Cons) != 3 {
+		t.Fatalf("constraints = %d, want 3", len(p.Cons))
+	}
+	if p.Cons[0].Sense != simplex.GE || p.Cons[0].RHS != 10 {
+		t.Errorf("cons[0] = %+v", p.Cons[0])
+	}
+	if p.Cons[1].Sense != simplex.EQ {
+		t.Errorf("cons[1] sense = %v", p.Cons[1].Sense)
+	}
+	if p.Cons[2].Sense != simplex.LE || p.Cons[2].Coeffs[2] != 2 {
+		t.Errorf("cons[2] = %+v", p.Cons[2])
+	}
+}
+
+func TestParseSingleEqualsSense(t *testing.T) {
+	p, err := parse(strings.NewReader("min: 1\nc: 1 = 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cons[0].Sense != simplex.EQ {
+		t.Errorf("sense = %v, want EQ", p.Cons[0].Sense)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"no objective", "c: 1 >= 2\n"},
+		{"bad prefix", "max: 1\n"},
+		{"bad sense", "min: 1\nc: 1 >> 2\n"},
+		{"bad number", "min: 1 x\n"},
+		{"bad rhs", "min: 1\nc: 1 >= ten\n"},
+		{"short constraint", "min: 1\nc: >=\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := parse(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("parse accepted %q", tt.in)
+			}
+		})
+	}
+}
+
+func TestParseSolveRoundTrip(t *testing.T) {
+	p, err := parse(strings.NewReader("min: 1 1\nc: 1 2 >= 4\nc: 2 1 >= 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := simplex.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != simplex.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Optimum at x = (4/3, 4/3), objective 8/3.
+	if diff := sol.Objective - 8.0/3.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("objective = %g, want 8/3", sol.Objective)
+	}
+}

@@ -1,0 +1,76 @@
+// Command tracegen generates and inspects the mobility traces of the
+// evaluation: the synthetic Rome taxi model (the CRAWDAD-dataset
+// substitute) and the §V-D random walk on the metro graph.
+//
+// Usage:
+//
+//	tracegen -model taxi -users 50 -horizon 60            # summary
+//	tracegen -model walk -users 20 -horizon 30 -format csv > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"math/rand"
+
+	"edgealloc/internal/mobility"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "taxi", "mobility model: taxi or walk")
+		users     = flag.Int("users", 50, "number of users")
+		horizon   = flag.Int("horizon", 60, "number of one-minute slots")
+		seed      = flag.Int64("seed", 1, "random seed")
+		format    = flag.String("format", "summary", "output: summary or csv")
+	)
+	flag.Parse()
+
+	tr, err := buildTrace(*modelName, *users, *horizon, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "csv":
+		fmt.Println("slot,user,station,station_name,access_km")
+		for t := 0; t < tr.T; t++ {
+			for j := 0; j < tr.J; j++ {
+				s := tr.Attach[t][j]
+				fmt.Printf("%d,%d,%d,%s,%.4f\n",
+					t, j, s, mobility.RomeStations[s].Name, tr.AccessKm[t][j])
+			}
+		}
+	case "summary":
+		fmt.Printf("model=%s users=%d horizon=%d seed=%d\n", *modelName, tr.J, tr.T, *seed)
+		fmt.Printf("churn rate: %.4f cloud switches per user-slot\n", tr.ChurnRate())
+		fmt.Println("attachment frequency (capacity is distributed proportionally):")
+		freq := tr.AttachFrequency(len(mobility.RomeStations))
+		for i, f := range freq {
+			bar := ""
+			for n := 0; n < int(f*200); n++ {
+				bar += "#"
+			}
+			fmt.Printf("  %-18s %6.3f %s\n", mobility.RomeStations[i].Name, f, bar)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}
+
+func buildTrace(model string, users, horizon int, seed int64) (*mobility.Trace, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch model {
+	case "taxi":
+		return mobility.Taxi(mobility.TaxiConfig{Users: users, Horizon: horizon},
+			mobility.StationPoints(), rng)
+	case "walk":
+		return mobility.RandomWalk(mobility.RomeMetroAdjacency(), users, horizon, rng)
+	default:
+		return nil, fmt.Errorf("unknown model %q (want taxi or walk)", model)
+	}
+}

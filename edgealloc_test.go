@@ -1,0 +1,93 @@
+package edgealloc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	in, tr, err := RomeScenario(ScenarioConfig{Users: 8, Horizon: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ChurnRate() <= 0 {
+		t.Error("trace has no churn")
+	}
+	algs := []Algorithm{
+		NewOnlineApprox(ApproxOptions{}),
+		NewOnlineGreedy(),
+		NewPerfOpt(),
+		NewOperOpt(),
+		NewStatOpt(),
+		NewStatic(),
+	}
+	totals := map[string]float64{}
+	for _, alg := range algs {
+		run, err := Execute(in, alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if run.Total <= 0 {
+			t.Errorf("%s: nonpositive total %g", alg.Name(), run.Total)
+		}
+		totals[alg.Name()] = run.Total
+	}
+	if len(totals) != 6 {
+		t.Fatalf("expected 6 distinct algorithm names, got %d", len(totals))
+	}
+}
+
+func TestPublicAPICertificateFlow(t *testing.T) {
+	in, _, err := RandomWalkScenario(ScenarioConfig{Users: 6, Horizon: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := NewOnlineApproxFor(in, ApproxOptions{})
+	sched, err := alg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := alg.Certificate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := in.Evaluate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := in.Total(b)
+	if cert.LowerBoundP0() > total+1e-6 {
+		t.Errorf("certified bound %g above achieved cost %g", cert.LowerBoundP0(), total)
+	}
+	if cert.Feasibility.Max() > 1e-6 {
+		t.Errorf("dual certificate infeasible by %g", cert.Feasibility.Max())
+	}
+	if bound := RatioBound(in, 1, 1); bound <= 1 {
+		t.Errorf("RatioBound = %g, want > 1", bound)
+	}
+}
+
+func TestPublicAPIToysAndExactOffline(t *testing.T) {
+	a := ToyExampleA()
+	_, opt, err := ExactOffline(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-9.6) > 1e-6 {
+		t.Errorf("exact offline on toy (a) = %g, want 9.6", opt)
+	}
+	bIn := ToyExampleB()
+	_, optB, err := ExactOffline(bIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(optB-9.5) > 1e-6 {
+		t.Errorf("exact offline on toy (b) = %g, want 9.5", optB)
+	}
+}
+
+func TestPublicAPIReproduceFigureValidation(t *testing.T) {
+	if _, err := ReproduceFigure("7", ExperimentParams{}); err == nil {
+		t.Error("accepted unknown figure")
+	}
+}

@@ -1,0 +1,65 @@
+package edgealloc_test
+
+import (
+	"fmt"
+	"log"
+
+	"edgealloc"
+)
+
+// The Figure-1(a) instance: the offline optimum keeps the workload at
+// cloud A for 9.6 total, while the myopic greedy policy pays 11.5.
+func ExampleExactOffline() {
+	in := edgealloc.ToyExampleA()
+	_, opt, err := edgealloc.ExactOffline(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline optimum: %.1f\n", opt)
+	// Output:
+	// offline optimum: 9.6
+}
+
+// Running the online-greedy baseline on Figure 1(a) reproduces the
+// paper's trap value.
+func ExampleExecute() {
+	in := edgealloc.ToyExampleA()
+	run, err := edgealloc.Execute(in, edgealloc.NewOnlineGreedy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online-greedy: %.1f\n", run.Total)
+	// Output:
+	// online-greedy: 11.5
+}
+
+// Slot-by-slot use of the paper's algorithm, with the dual certificate
+// bounding how far from optimal the run can possibly be.
+func ExampleOnlineApproxAlg_Certificate() {
+	in := edgealloc.ToyExampleB()
+	alg := edgealloc.NewOnlineApproxFor(in, edgealloc.ApproxOptions{})
+	sched, err := alg.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := in.Evaluate(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, err := alg.Certificate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("achieved %.1f, certified optimum >= %.1f\n",
+		in.Total(b), cert.LowerBoundP0())
+	// Output:
+	// achieved 10.3, certified optimum >= 7.1
+}
+
+// Theorem 2's parameterized bound for the toy system.
+func ExampleRatioBound() {
+	in := edgealloc.ToyExampleA()
+	fmt.Printf("r = %.1f\n", edgealloc.RatioBound(in, 1, 1))
+	// Output:
+	// r = 7.6
+}

@@ -1,0 +1,59 @@
+// Epsilon tuning (Figure 4): the regularization parameters ε₁ = ε₂ = ε
+// trade theoretical worst case against empirical inertia.
+//
+// Theorem 2's bound r = 1 + γ|I| with
+// γ = max_i (C_i+ε)·ln(1+C_i/ε) improves monotonically as ε grows, while
+// the empirical ratio dips slightly and then settles — exactly the shape
+// of the paper's Figure 4. The example sweeps ε on one scenario and
+// prints both curves plus the run's self-certified ratio.
+//
+// Run with: go run ./examples/epsilontuning [a minute or two]
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgealloc"
+)
+
+func main() {
+	in, _, err := edgealloc.RomeScenario(edgealloc.ScenarioConfig{
+		Users:   10,
+		Horizon: 10,
+		Seed:    4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline, err := edgealloc.Execute(in, edgealloc.NewOfflineOpt())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %14s %14s %16s\n",
+		"epsilon", "empirical", "certified<=", "theorem-2 bound")
+	for _, eps := range []float64{1e-3, 1e-2, 1e-1, 1, 1e1, 1e2, 1e3} {
+		alg := edgealloc.NewOnlineApproxFor(in, edgealloc.ApproxOptions{
+			Epsilon1: eps, Epsilon2: eps,
+		})
+		sched, err := alg.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := in.Evaluate(sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := in.Total(b)
+		cert, err := alg.Certificate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.0e %14.3f %14.3f %16.1f\n",
+			eps,
+			total/offline.Total,
+			total/cert.LowerBoundP0(),
+			edgealloc.RatioBound(in, eps, eps))
+	}
+}

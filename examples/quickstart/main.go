@@ -1,0 +1,67 @@
+// Quickstart: the Figure-1 story of the paper on two toy instances.
+//
+// Two edge clouds, one unit-workload user, three time slots. Example (a)
+// baits the greedy policy into chasing the user back and forth (total
+// 11.5 vs the optimal 9.6); example (b) makes greedy too conservative to
+// ever migrate (11.3 vs 9.5). The paper's regularization-based online
+// algorithm lands near the optimum on both without seeing the future.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgealloc"
+)
+
+func main() {
+	for _, tc := range []struct {
+		name string
+		inst *edgealloc.Instance
+		opt  float64
+	}{
+		{"example (a) — greedy too aggressive", edgealloc.ToyExampleA(), 9.6},
+		{"example (b) — greedy too conservative", edgealloc.ToyExampleB(), 9.5},
+	} {
+		fmt.Printf("%s\n", tc.name)
+
+		// Ground truth: the exact offline LP optimum.
+		_, opt, err := edgealloc.ExactOffline(tc.inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  offline optimum:       %6.3f (paper: %.1f)\n", opt, tc.opt)
+
+		// The greedy trap.
+		greedy, err := edgealloc.Execute(tc.inst, edgealloc.NewOnlineGreedy())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  online-greedy:         %6.3f (ratio %.3f)\n",
+			greedy.Total, greedy.Total/opt)
+
+		// The paper's algorithm, slot by slot, plus its self-certificate.
+		alg := edgealloc.NewOnlineApproxFor(tc.inst, edgealloc.ApproxOptions{})
+		sched, err := alg.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := tc.inst.Evaluate(sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := tc.inst.Total(b)
+		fmt.Printf("  online-approx:         %6.3f (ratio %.3f)\n", total, total/opt)
+
+		cert, err := alg.Certificate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  certified lower bound: %6.3f (certified ratio ≤ %.3f)\n",
+			cert.LowerBoundP0(), total/cert.LowerBoundP0())
+		fmt.Printf("  theorem-2 worst case:  r = %.1f\n\n",
+			edgealloc.RatioBound(tc.inst, 1, 1))
+	}
+}

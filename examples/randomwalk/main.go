@@ -1,0 +1,46 @@
+// Random-walk mobility (§V-D): users ride the Rome metro graph, choosing
+// uniformly each minute between staying and moving to an adjacent
+// station. The example sweeps the user population, as in Figure 5, and
+// shows that the paper's algorithm stays near-optimal while the greedy
+// one-shot optimizer drifts.
+//
+// Run with: go run ./examples/randomwalk [a few minutes]
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgealloc"
+)
+
+func main() {
+	fmt.Printf("%-8s %8s %12s %12s\n", "users", "churn", "approx", "greedy")
+	for _, users := range []int{5, 10, 20} {
+		in, tr, err := edgealloc.RandomWalkScenario(edgealloc.ScenarioConfig{
+			Users:   users,
+			Horizon: 10,
+			Seed:    int64(1000 + users),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		offline, err := edgealloc.Execute(in, edgealloc.NewOfflineOpt())
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx, err := edgealloc.Execute(in, edgealloc.NewOnlineApprox(edgealloc.ApproxOptions{}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		greedy, err := edgealloc.Execute(in, edgealloc.NewOnlineGreedy())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %8.3f %12.3f %12.3f\n",
+			users, tr.ChurnRate(),
+			approx.Total/offline.Total, greedy.Total/offline.Total)
+	}
+	fmt.Println("\npaper (Fig 5): approx ≈1.1 and flat in the population size;")
+	fmt.Println("greedy reaches ≈1.8 at scale.")
+}

@@ -1,0 +1,68 @@
+package edgealloc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIExtensions(t *testing.T) {
+	in, err := PingPongScenario(AdversarialConfig{Horizon: 6, Spike: 3, Dynamic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{NewLookahead(2), NewProximal(1)} {
+		run, err := Execute(in, alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if run.Total <= 0 {
+			t.Errorf("%s: total %g", alg.Name(), run.Total)
+		}
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	in := ToyExampleA()
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Execute(got, NewStatOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := WriteSchedule(&sbuf, run.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := ReadSchedule(&sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := got.Evaluate(run.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Evaluate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total(b1) != got.Total(b2) {
+		t.Errorf("cost changed through schedule round trip: %g != %g",
+			got.Total(b1), got.Total(b2))
+	}
+}
+
+func TestReproduceFigureAcceptsFigPrefix(t *testing.T) {
+	res, err := ReproduceFigure("fig1", ExperimentParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Figure != "Fig 1" {
+		t.Errorf("Figure = %q", res.Figure)
+	}
+}

@@ -1,0 +1,3 @@
+module edgealloc
+
+go 1.22

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"fmt"
+
+	"edgealloc/internal/model"
+	"edgealloc/internal/solver/simplex"
+)
+
+// ExactOffline solves the full-horizon problem P0 exactly as a linear
+// program with the dense simplex solver. The LP linearizes the hinges with
+// auxiliary variables:
+//
+//	u_{i,t}     ≥ Σ_j x_{i,j,t} − Σ_j x_{i,j,t-1}   (reconfiguration)
+//	vout_{ijt}  ≥ x_{i,j,t-1} − x_{i,j,t}           (outgoing migration)
+//	vin_{ijt}   ≥ x_{i,j,t} − x_{i,j,t-1}           (incoming migration)
+//
+// all nonnegative and priced in the objective, so each sits exactly at its
+// hinge value at the optimum. The tableau is dense: use this only on
+// small instances (T·I·J up to a few hundred); it exists to pin the
+// large-scale smoothed Offline solver and the toy examples to ground
+// truth.
+func ExactOffline(in *model.Instance) (model.Schedule, float64, error) {
+	nIJ := in.I * in.J
+	nX := in.T * nIJ
+	nU := in.T * in.I
+	// Layout: [x (T·I·J) | u (T·I) | vout (T·I·J) | vin (T·I·J)].
+	offU := nX
+	offOut := nX + nU
+	offIn := offOut + nX
+	nVar := offIn + nX
+
+	xIdx := func(t, i, j int) int { return t*nIJ + i*in.J + j }
+	uIdx := func(t, i int) int { return offU + t*in.I + i }
+	outIdx := func(t, i, j int) int { return offOut + xIdx(t, i, j) }
+	inIdx := func(t, i, j int) int { return offIn + xIdx(t, i, j) }
+
+	p := &simplex.Problem{C: make([]float64, nVar)}
+	for t := 0; t < in.T; t++ {
+		coef := in.StaticCoeff(t)
+		for i := 0; i < in.I; i++ {
+			p.C[uIdx(t, i)] = in.WRc * in.ReconfPrice[i]
+			for j := 0; j < in.J; j++ {
+				p.C[xIdx(t, i, j)] = coef[i*in.J+j]
+				p.C[outIdx(t, i, j)] = in.WMg * in.MigOutPrice[i]
+				p.C[inIdx(t, i, j)] = in.WMg * in.MigInPrice[i]
+			}
+		}
+	}
+
+	init := in.InitialAlloc()
+	row := func() []float64 { return make([]float64, nVar) }
+	for t := 0; t < in.T; t++ {
+		// Demand.
+		for j := 0; j < in.J; j++ {
+			r := row()
+			for i := 0; i < in.I; i++ {
+				r[xIdx(t, i, j)] = 1
+			}
+			p.Cons = append(p.Cons, simplex.Constraint{Coeffs: r, Sense: simplex.GE, RHS: in.Workload[j]})
+		}
+		// Capacity.
+		for i := 0; i < in.I; i++ {
+			r := row()
+			for j := 0; j < in.J; j++ {
+				r[xIdx(t, i, j)] = 1
+			}
+			p.Cons = append(p.Cons, simplex.Constraint{Coeffs: r, Sense: simplex.LE, RHS: in.Capacity[i]})
+		}
+		// Hinge linearizations.
+		for i := 0; i < in.I; i++ {
+			r := row()
+			r[uIdx(t, i)] = 1
+			rhs := 0.0
+			for j := 0; j < in.J; j++ {
+				r[xIdx(t, i, j)] = -1
+				if t == 0 {
+					rhs -= init.At(i, j)
+				} else {
+					r[xIdx(t-1, i, j)] = 1
+				}
+			}
+			p.Cons = append(p.Cons, simplex.Constraint{Coeffs: r, Sense: simplex.GE, RHS: rhs})
+			for j := 0; j < in.J; j++ {
+				rOut := row()
+				rOut[outIdx(t, i, j)] = 1
+				rOut[xIdx(t, i, j)] = 1
+				rhsOut := 0.0
+				rIn := row()
+				rIn[inIdx(t, i, j)] = 1
+				rIn[xIdx(t, i, j)] = -1
+				rhsIn := 0.0
+				if t == 0 {
+					rhsOut = init.At(i, j)
+					rhsIn = -init.At(i, j)
+				} else {
+					rOut[xIdx(t-1, i, j)] = -1
+					rIn[xIdx(t-1, i, j)] = 1
+				}
+				p.Cons = append(p.Cons,
+					simplex.Constraint{Coeffs: rOut, Sense: simplex.GE, RHS: rhsOut},
+					simplex.Constraint{Coeffs: rIn, Sense: simplex.GE, RHS: rhsIn})
+			}
+		}
+	}
+
+	sol, err := simplex.Solve(p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("baseline: exact offline: %w", err)
+	}
+	if sol.Status != simplex.Optimal {
+		return nil, 0, fmt.Errorf("baseline: exact offline: LP %v", sol.Status)
+	}
+	sched := make(model.Schedule, in.T)
+	for t := 0; t < in.T; t++ {
+		x := model.NewAlloc(in.I, in.J)
+		copy(x.X, sol.X[t*nIJ:(t+1)*nIJ])
+		sched[t] = x
+	}
+	// The LP objective omits the access-delay constant; add it so the
+	// returned value matches in.Total(in.Evaluate(sched)).
+	objective := sol.Objective
+	for t := 0; t < in.T; t++ {
+		for j := 0; j < in.J; j++ {
+			objective += in.WSq * in.AccessDelay[t][j]
+		}
+	}
+	return sched, objective, nil
+}

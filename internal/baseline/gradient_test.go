@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgealloc/internal/model"
+	"edgealloc/internal/scenario"
+)
+
+// fdCheck compares an analytic gradient with central finite differences
+// at a random interior point.
+func fdCheck(t *testing.T, eval func(x, grad []float64) float64, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for k := range x {
+		x[k] = 0.05 + rng.Float64()
+	}
+	grad := make([]float64, n)
+	eval(x, grad)
+	const h = 1e-6
+	for trial := 0; trial < 30; trial++ {
+		k := rng.Intn(n)
+		orig := x[k]
+		x[k] = orig + h
+		fp := eval(x, nil)
+		x[k] = orig - h
+		fm := eval(x, nil)
+		x[k] = orig
+		fd := (fp - fm) / (2 * h)
+		if math.Abs(fd-grad[k]) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("grad[%d] = %g, finite difference %g", k, grad[k], fd)
+		}
+	}
+}
+
+func TestGreedySlotObjectiveGradient(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 4, Horizon: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := model.NewAlloc(in.I, in.J)
+	rng := rand.New(rand.NewSource(32))
+	for k := range prev.X {
+		prev.X[k] = rng.Float64()
+	}
+	obj := &greedySlotObjective{
+		nI:      in.I,
+		nJ:      in.J,
+		coef:    in.StaticCoeff(1),
+		prev:    prev.X,
+		prevTot: prev.CloudTotals(),
+		rc:      in.ReconfPrice,
+		bOut:    in.MigOutPrice,
+		bIn:     in.MigInPrice,
+		tot:     make([]float64, in.I),
+		mu:      0.05,
+	}
+	fdCheck(t, obj.Eval, in.I*in.J, 33)
+}
+
+// TestOfflineObjectiveGradient covers the cross-slot coupling terms: each
+// transition's hinge contributes to the gradients of two adjacent slots.
+func TestOfflineObjectiveGradient(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 3, Horizon: 4, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIJ := in.I * in.J
+	obj := &offlineObjective{
+		in:    in,
+		nIJ:   nIJ,
+		init:  in.InitialAlloc(),
+		coefs: make([][]float64, in.T),
+		tot:   make([]float64, in.I*(in.T+1)),
+		mu:    0.07,
+	}
+	for t2 := 0; t2 < in.T; t2++ {
+		obj.coefs[t2] = in.StaticCoeff(t2)
+	}
+	fdCheck(t, obj.Eval, in.T*nIJ, 35)
+}
+
+// TestOfflineObjectiveGradientWithWarmInit repeats the check with a
+// nonzero pre-horizon allocation, covering the t == 0 branches.
+func TestOfflineObjectiveGradientWithWarmInit(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 3, Horizon: 3, Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	init := model.NewAlloc(in.I, in.J)
+	for k := range init.X {
+		init.X[k] = rng.Float64()
+	}
+	in.Init = &init
+	nIJ := in.I * in.J
+	obj := &offlineObjective{
+		in:    in,
+		nIJ:   nIJ,
+		init:  in.InitialAlloc(),
+		coefs: make([][]float64, in.T),
+		tot:   make([]float64, in.I*(in.T+1)),
+		mu:    0.04,
+	}
+	for t2 := 0; t2 < in.T; t2++ {
+		obj.coefs[t2] = in.StaticCoeff(t2)
+	}
+	fdCheck(t, obj.Eval, in.T*nIJ, 38)
+}
+
+// TestOfflineSmoothedObjectiveUpperBoundsTrue verifies the softplus
+// construction: the smoothed objective evaluated at any point dominates
+// the true P0 objective (minus the constant access term).
+func TestOfflineSmoothedObjectiveUpperBoundsTrue(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 4, Horizon: 3, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIJ := in.I * in.J
+	obj := &offlineObjective{
+		in:    in,
+		nIJ:   nIJ,
+		init:  in.InitialAlloc(),
+		coefs: make([][]float64, in.T),
+		tot:   make([]float64, in.I*(in.T+1)),
+		mu:    0.1,
+	}
+	for t2 := 0; t2 < in.T; t2++ {
+		obj.coefs[t2] = in.StaticCoeff(t2)
+	}
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, in.T*nIJ)
+		sched := make(model.Schedule, in.T)
+		for t2 := 0; t2 < in.T; t2++ {
+			a := model.NewAlloc(in.I, in.J)
+			for k := range a.X {
+				a.X[k] = rng.Float64()
+				x[t2*nIJ+k] = a.X[k]
+			}
+			sched[t2] = a
+		}
+		b, err := in.Evaluate(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		access := 0.0
+		for t2 := 0; t2 < in.T; t2++ {
+			for j := 0; j < in.J; j++ {
+				access += in.WSq * in.AccessDelay[t2][j]
+			}
+		}
+		trueObj := in.Total(b) - access
+		if sm := obj.Eval(x, nil); sm < trueObj-1e-9 {
+			t.Fatalf("smoothed %g below true %g — softplus is an upper bound", sm, trueObj)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"fmt"
+
+	"edgealloc/internal/model"
+	"edgealloc/internal/solver/alm"
+	"edgealloc/internal/solver/fista"
+	"edgealloc/internal/solver/smooth"
+)
+
+// Greedy is the online one-shot optimizer of §V-B: in every slot it
+// minimizes the true P0 cost of that slot — static cost plus the
+// reconfiguration and bidirectional migration hinges measured against the
+// previous slot's decision — with no regard for the future. The hinges
+// are smoothed by softplus with continuation (internal/solver/smooth) so
+// the slot problem is solvable by the first-order machinery at any scale.
+type Greedy struct {
+	// Solver overrides the per-stage ALM options (zero = defaults).
+	Solver alm.Options
+	// MuSchedule overrides the smoothing continuation schedule (nil =
+	// smooth.Schedule(0.25, 1e-3, 0.1)).
+	MuSchedule []float64
+}
+
+// Name identifies the algorithm in experiment output.
+func (g *Greedy) Name() string { return "online-greedy" }
+
+// Solve runs the greedy policy over the horizon.
+func (g *Greedy) Solve(in *model.Instance) (model.Schedule, error) {
+	mus := g.MuSchedule
+	if mus == nil {
+		mus = smooth.Schedule(0.25, 1e-3, 0.1)
+	}
+	sopts := g.Solver
+	if sopts.MaxOuter == 0 {
+		sopts.MaxOuter = 50
+	}
+	if sopts.InnerIters == 0 {
+		sopts.InnerIters = 700
+	}
+	if sopts.FeasTol == 0 {
+		sopts.FeasTol = 1e-7
+	}
+	if sopts.Penalty == 0 {
+		sopts.Penalty = 2
+	}
+
+	cons := slotConstraints(in)
+	prev := in.InitialAlloc()
+	sched := make(model.Schedule, 0, in.T)
+	var warmX, warmDuals []float64
+	for t := 0; t < in.T; t++ {
+		obj := &greedySlotObjective{
+			nI:      in.I,
+			nJ:      in.J,
+			coef:    in.StaticCoeff(t),
+			prev:    prev.X,
+			rc:      make([]float64, in.I),
+			bOut:    make([]float64, in.I),
+			bIn:     make([]float64, in.I),
+			tot:     make([]float64, in.I),
+			prevTot: prev.CloudTotals(),
+		}
+		for i := 0; i < in.I; i++ {
+			obj.rc[i] = in.WRc * in.ReconfPrice[i]
+			obj.bOut[i] = in.WMg * in.MigOutPrice[i]
+			obj.bIn[i] = in.WMg * in.MigInPrice[i]
+		}
+
+		if warmX == nil {
+			warmX = append([]float64(nil), prev.X...)
+		}
+		var res *alm.Result
+		for _, mu := range mus {
+			obj.mu = mu
+			opts := sopts
+			opts.WarmX = warmX
+			opts.WarmDuals = warmDuals
+			var err error
+			res, err = alm.Solve(&alm.Problem{
+				Obj:   obj,
+				N:     in.I * in.J,
+				Lower: make([]float64, in.I*in.J),
+				Cons:  cons,
+			}, opts)
+			if err != nil {
+				return nil, fmt.Errorf("baseline: greedy slot %d: %w", t, err)
+			}
+			warmX = res.X
+			warmDuals = res.Duals
+		}
+		x := model.Alloc{I: in.I, J: in.J, X: append([]float64(nil), res.X...)}
+		repairAlloc(in, x)
+		sched = append(sched, x)
+		prev = x
+		warmX = append(warmX[:0], x.X...)
+	}
+	return sched, nil
+}
+
+// slotConstraints builds the per-slot rows shared by greedy and the
+// offline program: demand Σ_i x_ij ≥ λ_j and capacity Σ_j x_ij ≤ C_i
+// (expressed as −Σ_j x_ij ≥ −C_i for the GE-only ALM interface).
+func slotConstraints(in *model.Instance) []alm.Constraint {
+	cons := make([]alm.Constraint, 0, in.J+in.I)
+	for j := 0; j < in.J; j++ {
+		idx := make([]int, in.I)
+		coef := make([]float64, in.I)
+		for i := 0; i < in.I; i++ {
+			idx[i] = i*in.J + j
+			coef[i] = 1
+		}
+		cons = append(cons, alm.Constraint{Idx: idx, Coeffs: coef, RHS: in.Workload[j]})
+	}
+	for i := 0; i < in.I; i++ {
+		idx := make([]int, in.J)
+		coef := make([]float64, in.J)
+		for j := 0; j < in.J; j++ {
+			idx[j] = i*in.J + j
+			coef[j] = -1
+		}
+		cons = append(cons, alm.Constraint{Idx: idx, Coeffs: coef, RHS: -in.Capacity[i]})
+	}
+	return cons
+}
+
+// greedySlotObjective is the smoothed P0 slot cost
+//
+//	coef·x + Σ_i w_rc·c_i·sp_μ(X_i − X'_i)
+//	       + Σ_ij (w_mg·b_i^out·sp_μ(x'_ij − x_ij) + w_mg·b_i^in·sp_μ(x_ij − x'_ij)).
+type greedySlotObjective struct {
+	nI, nJ  int
+	coef    []float64
+	prev    []float64
+	prevTot []float64
+	rc      []float64
+	bOut    []float64
+	bIn     []float64
+	mu      float64
+
+	tot []float64 // scratch
+}
+
+var _ fista.Objective = (*greedySlotObjective)(nil)
+
+// Eval implements fista.Objective.
+func (o *greedySlotObjective) Eval(x, grad []float64) float64 {
+	f := 0.0
+	for i := 0; i < o.nI; i++ {
+		s := 0.0
+		row := x[i*o.nJ : (i+1)*o.nJ]
+		for _, v := range row {
+			s += v
+		}
+		o.tot[i] = s
+	}
+	for i := 0; i < o.nI; i++ {
+		d := o.tot[i] - o.prevTot[i]
+		f += o.rc[i] * smooth.Softplus(d, o.mu)
+		rcGrad := o.rc[i] * smooth.SoftplusGrad(d, o.mu)
+		base := i * o.nJ
+		for j := 0; j < o.nJ; j++ {
+			k := base + j
+			v := x[k]
+			f += o.coef[k] * v
+			dv := v - o.prev[k]
+			f += o.bOut[i]*smooth.Softplus(-dv, o.mu) + o.bIn[i]*smooth.Softplus(dv, o.mu)
+			if grad != nil {
+				grad[k] = o.coef[k] + rcGrad +
+					o.bIn[i]*smooth.SoftplusGrad(dv, o.mu) -
+					o.bOut[i]*smooth.SoftplusGrad(-dv, o.mu)
+			}
+		}
+	}
+	return f
+}
+
+// repairAlloc clips round-off negatives and tops up marginally
+// under-served users, mirroring the repair in the core package.
+func repairAlloc(in *model.Instance, x model.Alloc) {
+	for k, v := range x.X {
+		if v < 0 {
+			x.X[k] = 0
+		}
+	}
+	served := x.UserTotals()
+	for j := 0; j < in.J; j++ {
+		if deficit := in.Workload[j] - served[j]; deficit > 0 {
+			if served[j] > 0 {
+				f := in.Workload[j] / served[j]
+				for i := 0; i < in.I; i++ {
+					x.Set(i, j, x.At(i, j)*f)
+				}
+			} else {
+				x.Set(0, j, in.Workload[j])
+			}
+		}
+	}
+}

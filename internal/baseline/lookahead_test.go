@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"edgealloc/internal/model"
+)
+
+func TestLookaheadName(t *testing.T) {
+	if got := (&Lookahead{}).Name(); got != "lookahead-3" {
+		t.Errorf("Name() = %q, want lookahead-3", got)
+	}
+	if got := (&Lookahead{Window: 7}).Name(); got != "lookahead-7" {
+		t.Errorf("Name() = %q, want lookahead-7", got)
+	}
+}
+
+func TestLookaheadFullWindowMatchesOffline(t *testing.T) {
+	// With the window covering the whole horizon, the first solve IS the
+	// offline plan... but re-solved per slot; totals must land within the
+	// smoothing tolerance of the exact optimum.
+	in := model.ToyExampleA()
+	la := &Lookahead{Window: in.T}
+	s, err := la.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckFeasible(s, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := ExactOffline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := totalOf(t, in, s)
+	if got > opt*1.03 || got < opt-1e-6 {
+		t.Errorf("full-window lookahead %g, exact offline %g", got, opt)
+	}
+}
+
+func TestLookaheadEscapesFig1bTrap(t *testing.T) {
+	// Example (b) traps greedy at 11.3 because one slot's saving doesn't
+	// cover the migration. A 2-slot window sees the saving repeat and
+	// migrates, recovering the optimum 9.5.
+	in := model.ToyExampleB()
+	la := &Lookahead{Window: 2}
+	s, err := la.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := totalOf(t, in, s)
+	if math.Abs(got-9.5) > 0.1 {
+		t.Errorf("lookahead-2 on (b) = %g, want ≈9.5 (escaping the 11.3 trap)", got)
+	}
+}
+
+func TestLookaheadWindowOrdering(t *testing.T) {
+	// Longer windows can only help (up to solver noise) on the toys.
+	in := model.ToyExampleA()
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 3} {
+		s, err := (&Lookahead{Window: w}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := totalOf(t, in, s)
+		if got > prev*1.02 {
+			t.Errorf("window %d total %g worse than shorter window %g", w, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestWindowSubInstance(t *testing.T) {
+	in := model.ToyExampleA()
+	init := model.NewAlloc(in.I, in.J)
+	init.Set(1, 0, 1)
+	w, err := in.Window(1, 2, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.T != 2 {
+		t.Fatalf("window T = %d, want 2", w.T)
+	}
+	if w.OpPrice[0][0] != in.OpPrice[1][0] {
+		t.Error("window did not slice OpPrice at the offset")
+	}
+	if w.InitialAlloc().At(1, 0) != 1 {
+		t.Error("window lost its init allocation")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, 0}, {2, 2}} {
+		if _, err := in.Window(bad[0], bad[1], init); err == nil {
+			t.Errorf("Window(%d,%d) accepted out-of-range", bad[0], bad[1])
+		}
+	}
+}

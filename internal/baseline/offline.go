@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"fmt"
+
+	"edgealloc/internal/model"
+	"edgealloc/internal/solver/alm"
+	"edgealloc/internal/solver/fista"
+	"edgealloc/internal/solver/smooth"
+)
+
+// Offline minimizes P0 over the whole horizon with full knowledge of the
+// future — the impractical baseline used to normalize every empirical
+// competitive ratio (the paper's offline-opt, solved there by an LP
+// solver). The hinge costs are smoothed by softplus with continuation and
+// the single program over all T·I·J variables is solved by the augmented
+// Lagrangian; on tiny instances ExactOffline (exact.go) gives the LP
+// optimum for cross-validation.
+type Offline struct {
+	// Solver overrides the per-stage ALM options (zero = defaults).
+	Solver alm.Options
+	// MuSchedule overrides the smoothing continuation (nil =
+	// smooth.Schedule(0.25, 1e-3, 0.1)).
+	MuSchedule []float64
+}
+
+// Name identifies the algorithm in experiment output.
+func (o *Offline) Name() string { return "offline-opt" }
+
+// Solve minimizes the full-horizon smoothed P0 objective.
+func (o *Offline) Solve(in *model.Instance) (model.Schedule, error) {
+	mus := o.MuSchedule
+	if mus == nil {
+		mus = smooth.Schedule(0.25, 1e-3, 0.1)
+	}
+	sopts := o.Solver
+	if sopts.MaxOuter == 0 {
+		sopts.MaxOuter = 60
+	}
+	if sopts.InnerIters == 0 {
+		sopts.InnerIters = 2500
+	}
+	if sopts.FeasTol == 0 {
+		sopts.FeasTol = 1e-7
+	}
+	if sopts.Penalty == 0 {
+		sopts.Penalty = 2
+	}
+
+	nIJ := in.I * in.J
+	obj := &offlineObjective{
+		in:    in,
+		nIJ:   nIJ,
+		init:  in.InitialAlloc(),
+		coefs: make([][]float64, in.T),
+		tot:   make([]float64, in.I*(in.T+1)),
+	}
+	for t := 0; t < in.T; t++ {
+		obj.coefs[t] = in.StaticCoeff(t)
+	}
+
+	// Constraints: the per-slot rows shifted to each slot's variable block.
+	base := slotConstraints(in)
+	cons := make([]alm.Constraint, 0, in.T*len(base))
+	for t := 0; t < in.T; t++ {
+		for _, c := range base {
+			idx := make([]int, len(c.Idx))
+			for k, v := range c.Idx {
+				idx[k] = t*nIJ + v
+			}
+			cons = append(cons, alm.Constraint{Idx: idx, Coeffs: c.Coeffs, RHS: c.RHS})
+		}
+	}
+
+	// Warm start: every slot at the stat-opt transportation solution,
+	// which is feasible and usually close in shape.
+	warm := make([]float64, in.T*nIJ)
+	at := &Atomistic{Kind: StatOpt}
+	for t := 0; t < in.T; t++ {
+		x, err := solveSlotTransport(in, at.slotCost(in, t))
+		if err != nil {
+			return nil, fmt.Errorf("baseline: offline warm start slot %d: %w", t, err)
+		}
+		copy(warm[t*nIJ:(t+1)*nIJ], x.X)
+	}
+
+	var res *alm.Result
+	var warmDuals []float64
+	for _, mu := range mus {
+		obj.mu = mu
+		opts := sopts
+		opts.WarmX = warm
+		opts.WarmDuals = warmDuals
+		var err error
+		res, err = alm.Solve(&alm.Problem{
+			Obj:   obj,
+			N:     in.T * nIJ,
+			Lower: make([]float64, in.T*nIJ),
+			Cons:  cons,
+		}, opts)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: offline: %w", err)
+		}
+		warm = res.X
+		warmDuals = res.Duals
+	}
+
+	sched := make(model.Schedule, in.T)
+	for t := 0; t < in.T; t++ {
+		x := model.Alloc{I: in.I, J: in.J,
+			X: append([]float64(nil), res.X[t*nIJ:(t+1)*nIJ]...)}
+		repairAlloc(in, x)
+		sched[t] = x
+	}
+	return sched, nil
+}
+
+// offlineObjective is the smoothed P0 objective over the whole horizon.
+// Variables are laid out slot-major: x[t*I*J + i*J + j].
+type offlineObjective struct {
+	in    *model.Instance
+	nIJ   int
+	init  model.Alloc
+	coefs [][]float64
+	mu    float64
+
+	tot []float64 // scratch: (T+1)×I cloud totals, slot 0 = init
+}
+
+var _ fista.Objective = (*offlineObjective)(nil)
+
+// Eval implements fista.Objective.
+func (o *offlineObjective) Eval(x, grad []float64) float64 {
+	in := o.in
+	nI, nJ := in.I, in.J
+	if grad != nil {
+		// Cross-slot terms accumulate into grad, so it must start clean.
+		for k := range grad {
+			grad[k] = 0
+		}
+	}
+
+	// Cloud totals for init and every slot.
+	initTot := o.init.CloudTotals()
+	copy(o.tot[:nI], initTot)
+	for t := 0; t < in.T; t++ {
+		for i := 0; i < nI; i++ {
+			s := 0.0
+			row := x[t*o.nIJ+i*nJ : t*o.nIJ+(i+1)*nJ]
+			for _, v := range row {
+				s += v
+			}
+			o.tot[(t+1)*nI+i] = s
+		}
+	}
+
+	f := 0.0
+	for t := 0; t < in.T; t++ {
+		coef := o.coefs[t]
+		for i := 0; i < nI; i++ {
+			// Reconfiguration hinge on the cloud-total change.
+			d := o.tot[(t+1)*nI+i] - o.tot[t*nI+i]
+			rc := in.WRc * in.ReconfPrice[i]
+			f += rc * smooth.Softplus(d, o.mu)
+			rcGrad := rc * smooth.SoftplusGrad(d, o.mu)
+			bOut := in.WMg * in.MigOutPrice[i]
+			bIn := in.WMg * in.MigInPrice[i]
+			for j := 0; j < nJ; j++ {
+				k := t*o.nIJ + i*nJ + j
+				v := x[k]
+				f += coef[i*nJ+j] * v
+				var prev float64
+				if t == 0 {
+					prev = o.init.At(i, j)
+				} else {
+					prev = x[k-o.nIJ]
+				}
+				dv := v - prev
+				f += bOut*smooth.Softplus(-dv, o.mu) + bIn*smooth.Softplus(dv, o.mu)
+				if grad != nil {
+					gOut := bOut * smooth.SoftplusGrad(-dv, o.mu)
+					gIn := bIn * smooth.SoftplusGrad(dv, o.mu)
+					grad[k] += coef[i*nJ+j] + rcGrad + gIn - gOut
+					if t > 0 {
+						grad[k-o.nIJ] += gOut - gIn - rcGrad
+					}
+				}
+			}
+		}
+	}
+	return f
+}

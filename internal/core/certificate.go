@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"edgealloc/internal/model"
+)
+
+// Certificate is a per-run lower bound on the offline optimum, built from
+// the dual solution S_D of §IV. The dual program D of the relaxation P3
+// has objective
+//
+//	D = Σ_t Σ_j λ_j θ_{j,t} + Σ_t Σ_i (Λ−C_i)⁺ ρ_{i,t},
+//
+// and any feasible dual point lower-bounds OPT(P1) by weak duality
+// (Lemma 2 + the P3 relaxation), hence OPT(P0) ≥ D − σ (Lemma 1).
+// Dividing the algorithm's achieved cost by the bound certifies its
+// empirical competitive ratio without ever solving the offline problem.
+//
+// Rather than trusting the numerical multipliers of the per-slot solver —
+// which are ambiguous here because the explicit capacity rows added to P2
+// (see p2Constraints) are linearly dependent with the complement rows at
+// demand-tight points — the certificate constructs duals directly from
+// P2's stationarity at the realized solution:
+//
+//	g_{ij,t} = ā_{ij,t} + (ĉ_i/η_i)·ln((X_{i,t}+ε₁)/(X_{i,t-1}+ε₁))
+//	                    + (b̂_i/τ_ij)·ln((x_{ij,t}+ε₂)/(x_{ij,t-1}+ε₂))
+//	θ_{j,t} = max(0, min_i g_{ij,t}),   ρ_{i,t} = 0.
+//
+// With the paper's α/β mappings the telescoped differences satisfy
+// α_{t+1}−α_t + β_{t+1}−β_t = ā_{ij,t} − g_{ij,t} exactly, so constraint
+// (14a) reduces to θ_{j,t} ≤ g_{ij,t}, which holds by construction: the
+// point is dual-feasible up to float round-off regardless of how
+// accurately P2 was solved. Choosing ρ = 0 only loosens the bound when
+// capacity binds (the clouds run at 80% utilization in the paper's
+// setting, so the loss is small); when no capacity binds, θ = min_i g is
+// the exact dual optimum of the slot.
+type Certificate struct {
+	// D is the dual objective: a certified lower bound on OPT(P1) in
+	// weighted cost units, excluding the access-delay constant.
+	D float64
+	// SigmaWeighted is w_mg·σ = w_mg·Σ_i b_i^out·C_i, the Lemma-1 constant
+	// separating P0 and P1 optima.
+	SigmaWeighted float64
+	// AccessConstant is Σ_t Σ_j w_sq·d(j, l_{j,t}), the decision-independent
+	// part of the service-quality cost, which the dual programs omit
+	// (Lemma 5 drops it explicitly). It is added back when bounding the
+	// full objectives.
+	AccessConstant float64
+	// Feasibility reports the residual violation of the dual constraints
+	// by the constructed point; by construction all entries are at float
+	// round-off level.
+	Feasibility Feasibility
+}
+
+// Feasibility is the worst violation of each dual-constraint family by
+// the constructed S_D, in absolute weighted-cost units.
+type Feasibility struct {
+	// DualRow is constraint (14a), the column constraint of the x variables.
+	DualRow float64
+	// AlphaBound is (14b): α_{i,t} ≤ w_rc·c_i.
+	AlphaBound float64
+	// BetaBound is (14c): β_{i,j,t} ≤ w_mg·b_i.
+	BetaBound float64
+	// Negativity is (14d)/(14e): all of α, β, θ, ρ ≥ 0.
+	Negativity float64
+}
+
+// Max returns the largest violation across all families.
+func (f Feasibility) Max() float64 {
+	return math.Max(math.Max(f.DualRow, f.AlphaBound), math.Max(f.BetaBound, f.Negativity))
+}
+
+// ErrIncompleteRun reports a certificate request before the horizon was
+// fully processed.
+var ErrIncompleteRun = errors.New("core: certificate requires a completed run")
+
+// LowerBoundP1 returns the certified lower bound on OPT(P1) including the
+// decision-independent access-delay constant.
+func (c *Certificate) LowerBoundP1() float64 { return c.D + c.AccessConstant }
+
+// LowerBoundP0 returns the certified lower bound on OPT(P0):
+// OPT(P0) ≥ OPT(P1) − σ ≥ D − σ (both sides including the access constant).
+func (c *Certificate) LowerBoundP0() float64 {
+	return c.D + c.AccessConstant - c.SigmaWeighted
+}
+
+// Certificate builds the dual certificate from a completed run.
+//
+// The β mapping uses (λ_j+ε₂) rather than the paper's printed (C_i+ε₂) in
+// the numerator: the telescoped differences β_{t+1}−β_t — the only form
+// entering constraint (14a) — are identical under both choices, while the
+// bound β ≤ w_mg·b_i of (14c) only holds with λ_j (the paper's own Lemma-2
+// derivation for (14c) silently uses the λ_j form; see DESIGN.md).
+func (o *OnlineApprox) Certificate() (*Certificate, error) {
+	in := o.inst
+	if o.slot != in.T {
+		return nil, ErrIncompleteRun
+	}
+	eps1, eps2 := o.opts.Epsilon1, o.opts.Epsilon2
+
+	cert := &Certificate{SigmaWeighted: in.WMg * in.Sigma()}
+	for t := 0; t < in.T; t++ {
+		for j := 0; j < in.J; j++ {
+			cert.AccessConstant += in.WSq * in.AccessDelay[t][j]
+		}
+	}
+
+	// Allocations and cloud totals for t = 0..T (0 = initial state).
+	allocs := make([]model.Alloc, in.T+1)
+	allocs[0] = in.InitialAlloc()
+	totals := make([][]float64, in.T+1)
+	totals[0] = allocs[0].CloudTotals()
+	for t := 0; t < in.T; t++ {
+		allocs[t+1] = o.schedule[t]
+		totals[t+1] = o.schedule[t].CloudTotals()
+	}
+
+	rcFac := make([]float64, in.I)  // ĉ_i/η_i
+	mgFacI := make([]float64, in.I) // b̂_i (divided by τ_ij per user below)
+	for i := 0; i < in.I; i++ {
+		rcFac[i] = in.WRc * in.ReconfPrice[i] / math.Log1p(in.Capacity[i]/eps1)
+		mgFacI[i] = in.WMg * (in.MigOutPrice[i] + in.MigInPrice[i])
+	}
+	tau := make([]float64, in.J)
+	for j := 0; j < in.J; j++ {
+		tau[j] = math.Log1p(in.Workload[j] / eps2)
+	}
+
+	alpha := func(i, t int) float64 { // paper's α_{i,t}, valid for t in 1..T+1
+		return rcFac[i] * math.Log((in.Capacity[i]+eps1)/(totals[t-1][i]+eps1))
+	}
+	beta := func(i, j, t int) float64 { // β_{i,j,t} (λ_j-numerator form)
+		return mgFacI[i] / tau[j] *
+			math.Log((in.Workload[j]+eps2)/(allocs[t-1].At(i, j)+eps2))
+	}
+
+	thetas := make([][]float64, in.T)
+	for t := 1; t <= in.T; t++ {
+		coef := in.StaticCoeff(t - 1)
+		theta := make([]float64, in.J)
+		for j := range theta {
+			theta[j] = math.Inf(1)
+		}
+		for i := 0; i < in.I; i++ {
+			rcln := rcFac[i] * math.Log((totals[t][i]+eps1)/(totals[t-1][i]+eps1))
+			for j := 0; j < in.J; j++ {
+				mgln := mgFacI[i] / tau[j] *
+					math.Log((allocs[t].At(i, j)+eps2)/(allocs[t-1].At(i, j)+eps2))
+				if g := coef[i*in.J+j] + rcln + mgln; g < theta[j] {
+					theta[j] = g
+				}
+			}
+		}
+		for j := 0; j < in.J; j++ {
+			if theta[j] < 0 {
+				theta[j] = 0
+			}
+			cert.D += in.Workload[j] * theta[j]
+		}
+		thetas[t-1] = theta
+	}
+
+	// Verify S_D feasibility (Lemma 2) — a pure identity check here, but
+	// kept as a guard against regressions in the mappings.
+	for t := 1; t <= in.T; t++ {
+		coef := in.StaticCoeff(t - 1)
+		for i := 0; i < in.I; i++ {
+			a := alpha(i, t)
+			if v := a - in.WRc*in.ReconfPrice[i]; v > cert.Feasibility.AlphaBound {
+				cert.Feasibility.AlphaBound = v
+			}
+			if a < -cert.Feasibility.Negativity {
+				cert.Feasibility.Negativity = -a
+			}
+			da := alpha(i, t+1) - a
+			for j := 0; j < in.J; j++ {
+				bt := beta(i, j, t)
+				if v := bt - mgFacI[i]; v > cert.Feasibility.BetaBound {
+					cert.Feasibility.BetaBound = v
+				}
+				if bt < -cert.Feasibility.Negativity {
+					cert.Feasibility.Negativity = -bt
+				}
+				db := beta(i, j, t+1) - bt
+				lhs := -coef[i*in.J+j] + da + db + thetas[t-1][j]
+				if lhs > cert.Feasibility.DualRow {
+					cert.Feasibility.DualRow = lhs
+				}
+			}
+		}
+	}
+	return cert, nil
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edgealloc/internal/baseline"
+	"edgealloc/internal/model"
+	"edgealloc/internal/scenario"
+)
+
+const feasTol = 1e-5
+
+func totalOf(t *testing.T, in *model.Instance, s model.Schedule) float64 {
+	t.Helper()
+	b, err := in.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Total(b)
+}
+
+func runApprox(t *testing.T, in *model.Instance, opts Options) (*OnlineApprox, model.Schedule) {
+	t.Helper()
+	alg := NewOnlineApprox(in, opts)
+	s, err := alg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckFeasible(s, feasTol); err != nil {
+		t.Fatalf("approx schedule infeasible: %v", err)
+	}
+	return alg, s
+}
+
+func TestOnlineApproxBeatsGreedyOnFig1a(t *testing.T) {
+	// The paper's headline anecdote: greedy pays 11.5 on example (a),
+	// the optimum is 9.6, and the regularized algorithm lands near the
+	// optimum because its migration entropy resists the price bait.
+	in := model.ToyExampleA()
+	_, s := runApprox(t, in, Options{})
+	got := totalOf(t, in, s)
+	if got >= 11.4 {
+		t.Errorf("approx on (a) = %g — no better than greedy's 11.5", got)
+	}
+	if got < 9.6-1e-9 {
+		t.Errorf("approx on (a) = %g below the offline optimum 9.6 (impossible)", got)
+	}
+}
+
+func TestOnlineApproxNearOptimalOnFig1b(t *testing.T) {
+	in := model.ToyExampleB()
+	_, s := runApprox(t, in, Options{})
+	got := totalOf(t, in, s)
+	if got < 9.5-1e-9 {
+		t.Errorf("approx on (b) = %g below the offline optimum 9.5", got)
+	}
+	if got > 11.3 {
+		t.Errorf("approx on (b) = %g — worse than greedy's conservative 11.3", got)
+	}
+}
+
+func TestOnlineApproxFeasibleOnRomeScenario(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 12, Horizon: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s := runApprox(t, in, Options{})
+	// Theorem 1: capacity respected even though P2 uses complement rows.
+	for t2, x := range s {
+		for i, load := range x.CloudTotals() {
+			if load > in.Capacity[i]*(1+1e-4) {
+				t.Errorf("slot %d cloud %d: load %g > capacity %g (Theorem 1 violated)",
+					t2, i, load, in.Capacity[i])
+			}
+		}
+	}
+}
+
+func TestOnlineApproxWithinRatioBoundOfOffline(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 5, Horizon: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s := runApprox(t, in, Options{})
+	algCost := totalOf(t, in, s)
+	_, opt, err := baseline.ExactOffline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algCost < opt-1e-6 {
+		t.Fatalf("online cost %g below offline optimum %g", algCost, opt)
+	}
+	bound := RatioBound(in, 1, 1)
+	if algCost > bound*opt {
+		t.Errorf("online cost %g exceeds r·OPT = %g·%g (Theorem 2)", algCost, bound, opt)
+	}
+	// And empirically it should be far closer than the loose bound.
+	if ratio := algCost / opt; ratio > 2.0 {
+		t.Errorf("empirical ratio %g implausibly large for this scale", ratio)
+	}
+}
+
+func TestStepOutOfOrder(t *testing.T) {
+	in := model.ToyExampleA()
+	alg := NewOnlineApprox(in, Options{})
+	if _, err := alg.Step(1); err == nil {
+		t.Fatal("Step(1) accepted before Step(0)")
+	}
+	if _, err := alg.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alg.Step(0); err == nil {
+		t.Fatal("Step(0) accepted twice")
+	}
+}
+
+func TestCertificateRequiresCompleteRun(t *testing.T) {
+	in := model.ToyExampleA()
+	alg := NewOnlineApprox(in, Options{})
+	if _, err := alg.Certificate(); !errors.Is(err, ErrIncompleteRun) {
+		t.Fatalf("err = %v, want ErrIncompleteRun", err)
+	}
+}
+
+func TestCertificateBoundsOfflineOptimum(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 4, Horizon: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, s := runApprox(t, in, Options{})
+	cert, err := alg.Certificate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offSched, opt, err := baseline.ExactOffline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak duality: D (plus the access constant) lower-bounds OPT(P1),
+	// which is itself at most P1 evaluated at any feasible schedule.
+	p1, err := in.EvaluateP1(offSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := 1e-3 * (1 + math.Abs(in.Total(p1)))
+	if cert.LowerBoundP1() > in.Total(p1)+slack {
+		t.Errorf("certificate %g exceeds P1 at the offline schedule %g",
+			cert.LowerBoundP1(), in.Total(p1))
+	}
+	// And the P0 bound must sit below the exact P0 optimum.
+	if cert.LowerBoundP0() > opt+slack {
+		t.Errorf("certified P0 bound %g exceeds exact optimum %g", cert.LowerBoundP0(), opt)
+	}
+	// The algorithm's own cost must exceed the bound (sanity).
+	if algCost := totalOf(t, in, s); algCost < cert.LowerBoundP0()-slack {
+		t.Errorf("algorithm cost %g below its own certified bound %g",
+			algCost, cert.LowerBoundP0())
+	}
+}
+
+func TestCertificateDualFeasibilitySmall(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 6, Horizon: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, _ := runApprox(t, in, Options{})
+	cert, err := alg.Certificate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 2 holds exactly at KKT points; numerically we ask for small
+	// violations relative to the price scale (~1).
+	if v := cert.Feasibility.Max(); v > 0.05 {
+		t.Errorf("dual feasibility violation %g too large (%+v)", v, cert.Feasibility)
+	}
+	if cert.D <= 0 {
+		t.Errorf("certificate D = %g, want positive", cert.D)
+	}
+}
+
+func TestRatioBoundMonotoneDecreasingInEpsilon(t *testing.T) {
+	in := model.ToyExampleA()
+	prev := math.Inf(1)
+	for _, eps := range []float64{1e-3, 1e-1, 1, 10, 1e3} {
+		r := RatioBound(in, eps, eps)
+		if r <= 1 {
+			t.Fatalf("RatioBound(%g) = %g, want > 1", eps, r)
+		}
+		if r > prev+1e-9 {
+			t.Errorf("RatioBound not decreasing at eps=%g: %g > %g", eps, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestSolveResetsState(t *testing.T) {
+	in := model.ToyExampleA()
+	alg := NewOnlineApprox(in, Options{})
+	s1, err := alg.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := alg.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range s1 {
+		for k := range s1[t2].X {
+			if math.Abs(s1[t2].X[k]-s2[t2].X[k]) > 1e-9 {
+				t.Fatal("Solve is not reproducible on repeated calls")
+			}
+		}
+	}
+}
+
+func TestEpsilonAffectsDecisions(t *testing.T) {
+	// Large ε flattens the regularizer (less inertia); tiny ε makes the
+	// algorithm sticky. The two settings should produce different totals
+	// on example (a).
+	in := model.ToyExampleA()
+	_, sTiny := runApprox(t, in, Options{Epsilon1: 1e-3, Epsilon2: 1e-3})
+	_, sBig := runApprox(t, in, Options{Epsilon1: 1e3, Epsilon2: 1e3})
+	cTiny := totalOf(t, in, sTiny)
+	cBig := totalOf(t, in, sBig)
+	if math.Abs(cTiny-cBig) < 1e-6 {
+		t.Errorf("ε had no effect: %g vs %g", cTiny, cBig)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"edgealloc/internal/baseline"
+	"edgealloc/internal/model"
+	"edgealloc/internal/scenario"
+)
+
+// TestPingPongEmpiricalRatio probes the future-work question of §IV's
+// Remark with the adversarial price-alternation family: the measured
+// ratio must stay within Theorem 2's parameterized bound, and the family
+// must actually stress the algorithm (ratio bounded away from 1) — an
+// empirical lower-bound probe on the analysis.
+func TestPingPongEmpiricalRatio(t *testing.T) {
+	worst := 1.0
+	for _, cfg := range []scenario.AdversarialConfig{
+		{Horizon: 8, Spike: 2, Dynamic: 1},
+		{Horizon: 8, Spike: 3, Dynamic: 2},
+		{Horizon: 12, Spike: 5, Dynamic: 4},
+	} {
+		in, err := scenario.PingPong(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := NewOnlineApprox(in, Options{})
+		sched, err := alg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.CheckFeasible(sched, 1e-5); err != nil {
+			t.Fatal(err)
+		}
+		b, err := in.Evaluate(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := baseline.ExactOffline(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := in.Total(b) / opt
+		if ratio < 1-1e-9 {
+			t.Fatalf("spike=%g: ratio %g below 1", cfg.Spike, ratio)
+		}
+		if bound := RatioBound(in, 1, 1); ratio > bound {
+			t.Errorf("spike=%g: ratio %g exceeds Theorem-2 bound %g", cfg.Spike, ratio, bound)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst < 1.01 {
+		t.Errorf("adversarial family too easy: worst ratio %g — no stress on the algorithm", worst)
+	}
+	t.Logf("empirical lower-bound probe: worst observed ratio %.4f", worst)
+}
+
+// TestPingPongGreedyChases confirms the family traps the myopic policy
+// more than the regularized one on at least one configuration, mirroring
+// the Fig-1 anecdotes at longer horizons.
+func TestPingPongGreedyChases(t *testing.T) {
+	in, err := scenario.PingPong(scenario.AdversarialConfig{Horizon: 10, Spike: 3, Dynamic: 1.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := (&baseline.Greedy{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bG, err := in.Evaluate(greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := NewOnlineApprox(in, Options{})
+	sched, err := alg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bA, err := in.Evaluate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Total(bA) > in.Total(bG)*1.05 {
+		t.Errorf("approx %g much worse than greedy %g on the ping-pong family",
+			in.Total(bA), in.Total(bG))
+	}
+	t.Logf("ping-pong horizon 10: approx %.3f vs greedy %.3f", in.Total(bA), in.Total(bG))
+}
+
+// TestPingPongOfflinePaysOncePerPhase sanity-checks the family's
+// structure: the exact offline schedule should not exceed the cost of the
+// trivial stay-forever policy.
+func TestPingPongOfflinePaysOncePerPhase(t *testing.T) {
+	in, err := scenario.PingPong(scenario.AdversarialConfig{Horizon: 8, Spike: 3, Dynamic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := baseline.ExactOffline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay := make(model.Schedule, in.T)
+	for t2 := range stay {
+		x := model.NewAlloc(in.I, in.J)
+		x.Set(1, 0, 1)
+		stay[t2] = x
+	}
+	b, err := in.Evaluate(stay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt > in.Total(b)+1e-9 {
+		t.Errorf("offline optimum %g worse than stay-forever %g", opt, in.Total(b))
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAdversarialShape(t *testing.T) {
+	res, err := AblationAdversarial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 spike values", len(res.Rows))
+	}
+	prev := 0.0
+	for _, row := range res.Rows {
+		ap, ok := res.Cell(row.Label, "online-approx")
+		if !ok {
+			t.Fatalf("row %s missing online-approx", row.Label)
+		}
+		bound, ok := res.Cell(row.Label, "theorem-2-bound")
+		if !ok {
+			t.Fatalf("row %s missing theorem-2-bound", row.Label)
+		}
+		if ap.Stats.Mean < 1-1e-9 || ap.Stats.Mean > bound.Stats.Mean {
+			t.Errorf("%s: ratio %g outside [1, bound %g]", row.Label, ap.Stats.Mean, bound.Stats.Mean)
+		}
+		// The family is calibrated so stress grows with the spike.
+		if ap.Stats.Mean < prev-0.05 {
+			t.Errorf("%s: ratio %g fell sharply from %g — family not monotone in stress",
+				row.Label, ap.Stats.Mean, prev)
+		}
+		prev = ap.Stats.Mean
+	}
+}
+
+func TestAblationLookaheadTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-solve ablation")
+	}
+	p := Params{Users: 4, Horizon: 3, Reps: 1, Seed: 61}
+	res, err := AblationLookahead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // windows 1, 2, 3 fit a 3-slot horizon
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		la, ok := res.Cell(row.Label, "lookahead")
+		if !ok {
+			t.Fatalf("row %s missing lookahead cell", row.Label)
+		}
+		if la.Stats.Mean < 0.97 || la.Stats.Mean > 3 {
+			t.Errorf("%s: implausible ratio %g", row.Label, la.Stats.Mean)
+		}
+	}
+}
+
+func TestAblationRegularizerTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-solve ablation")
+	}
+	p := Params{Users: 4, Horizon: 3, Reps: 1, Seed: 62}
+	res, err := AblationRegularizer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 mu values", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, name := range []string{"online-approx", "online-proximal"} {
+			if _, ok := res.Cell(row.Label, name); !ok {
+				t.Errorf("row %s missing %s", row.Label, name)
+			}
+		}
+	}
+}
+
+func TestAblationByName(t *testing.T) {
+	if _, err := AblationByName("bogus", Params{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown ablation") {
+		t.Errorf("AblationByName accepted bogus study (err=%v)", err)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import "fmt"
+
+// Claims aggregates the paper's headline claims (§I / abstract) from
+// reproduced figure results:
+//
+//   - "achieves near-optimal results with an empirical competitive ratio
+//     of about 1.1",
+//   - "reduces the total cost by up to 4× compared to static approaches"
+//     (the atomistic per-slot optimizers),
+//   - "outperforms the online greedy one-shot optimizations by up to 70%".
+type Claims struct {
+	// ApproxMeanRatio is the mean online-approx competitive ratio across
+	// all rows (paper: ≈1.1).
+	ApproxMeanRatio float64
+	// MaxReductionVsAtomistic is the largest factor by which online-approx
+	// cost undercuts the worst atomistic algorithm on any row
+	// (paper: up to 4×).
+	MaxReductionVsAtomistic float64
+	// MaxImprovementOverGreedy is the largest relative cost reduction of
+	// online-approx vs online-greedy on any row (paper: up to 60–70 %).
+	MaxImprovementOverGreedy float64
+	// Rows is the number of (case, distribution, …) rows aggregated.
+	Rows int
+}
+
+// String renders the claims next to the paper's numbers.
+func (c Claims) String() string {
+	return fmt.Sprintf(
+		"approx mean ratio %.3f (paper ≈1.1); up to %.2fx cheaper than the worst "+
+			"atomistic (paper ≤4x); up to %.0f%% better than greedy (paper ≤60-70%%) "+
+			"[%d rows]",
+		c.ApproxMeanRatio, c.MaxReductionVsAtomistic,
+		100*c.MaxImprovementOverGreedy, c.Rows)
+}
+
+// SummarizeClaims extracts the headline quantities from any number of
+// figure results (typically Fig 2 and Fig 3). Rows lacking an
+// online-approx cell are skipped.
+func SummarizeClaims(results ...*Result) Claims {
+	var c Claims
+	sum := 0.0
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		for _, row := range res.Rows {
+			var approx, greedy, worstAtomistic float64
+			for _, cell := range row.Cells {
+				switch cell.Name {
+				case "online-approx":
+					approx = cell.Stats.Mean
+				case "online-greedy":
+					greedy = cell.Stats.Mean
+				case "perf-opt", "oper-opt", "stat-opt", "static":
+					if cell.Stats.Mean > worstAtomistic {
+						worstAtomistic = cell.Stats.Mean
+					}
+				}
+			}
+			if approx <= 0 {
+				continue
+			}
+			c.Rows++
+			sum += approx
+			if worstAtomistic > 0 {
+				if f := worstAtomistic / approx; f > c.MaxReductionVsAtomistic {
+					c.MaxReductionVsAtomistic = f
+				}
+			}
+			if greedy > 0 {
+				if imp := 1 - approx/greedy; imp > c.MaxImprovementOverGreedy {
+					c.MaxImprovementOverGreedy = imp
+				}
+			}
+		}
+	}
+	if c.Rows > 0 {
+		c.ApproxMeanRatio = sum / float64(c.Rows)
+	}
+	return c
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"edgealloc/internal/sim"
+)
+
+func fakeResult() *Result {
+	one := func(v float64) sim.Stats { return sim.Summarize([]float64{v}) }
+	return &Result{
+		Figure: "Fig X",
+		Rows: []Row{
+			{Label: "case-1", Cells: []Cell{
+				{Name: "online-approx", Stats: one(1.1)},
+				{Name: "online-greedy", Stats: one(1.5)},
+				{Name: "oper-opt", Stats: one(3.0)},
+				{Name: "stat-opt", Stats: one(2.0)},
+			}},
+			{Label: "case-2", Cells: []Cell{
+				{Name: "online-approx", Stats: one(1.2)},
+				{Name: "online-greedy", Stats: one(2.4)},
+				{Name: "perf-opt", Stats: one(4.8)},
+			}},
+			{Label: "no-approx-row", Cells: []Cell{
+				{Name: "online-greedy", Stats: one(1.3)},
+			}},
+		},
+	}
+}
+
+func TestSummarizeClaims(t *testing.T) {
+	c := SummarizeClaims(fakeResult(), nil)
+	if c.Rows != 2 {
+		t.Fatalf("Rows = %d, want 2 (row without approx skipped)", c.Rows)
+	}
+	if math.Abs(c.ApproxMeanRatio-1.15) > 1e-12 {
+		t.Errorf("ApproxMeanRatio = %g, want 1.15", c.ApproxMeanRatio)
+	}
+	if math.Abs(c.MaxReductionVsAtomistic-4.0) > 1e-12 {
+		t.Errorf("MaxReductionVsAtomistic = %g, want 4 (4.8/1.2)", c.MaxReductionVsAtomistic)
+	}
+	if math.Abs(c.MaxImprovementOverGreedy-0.5) > 1e-12 {
+		t.Errorf("MaxImprovementOverGreedy = %g, want 0.5 (1-1.2/2.4)", c.MaxImprovementOverGreedy)
+	}
+	s := c.String()
+	for _, want := range []string{"1.150", "4.00x", "50%", "2 rows"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSummarizeClaimsEmpty(t *testing.T) {
+	c := SummarizeClaims()
+	if c.Rows != 0 || c.ApproxMeanRatio != 0 {
+		t.Errorf("empty claims = %+v", c)
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny keeps the harness tests fast: the full-scale behaviour is recorded
+// in EXPERIMENTS.md from cmd/edgesim runs.
+func tiny() Params {
+	return Params{Users: 5, Horizon: 4, Reps: 1, Cases: 2, Seed: 77}
+}
+
+func TestFig1MatchesPaperNumbers(t *testing.T) {
+	res, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		label, name string
+		want        float64
+		tol         float64
+	}{
+		{"example-a", "offline-opt", 9.6, 1e-6},
+		{"example-a", "online-greedy", 11.5, 0.05},
+		{"example-b", "offline-opt", 9.5, 1e-6},
+		{"example-b", "online-greedy", 11.3, 0.05},
+	}
+	for _, c := range checks {
+		cell, ok := res.Cell(c.label, c.name)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", c.label, c.name)
+		}
+		if math.Abs(cell.Stats.Mean-c.want) > c.tol {
+			t.Errorf("%s/%s = %g, want %g±%g", c.label, c.name, cell.Stats.Mean, c.want, c.tol)
+		}
+	}
+	// The paper's algorithm must beat greedy on example (a).
+	ap, _ := res.Cell("example-a", "online-approx")
+	gr, _ := res.Cell("example-a", "online-greedy")
+	if ap.Stats.Mean >= gr.Stats.Mean {
+		t.Errorf("approx %g not better than greedy %g on example (a)", ap.Stats.Mean, gr.Stats.Mean)
+	}
+}
+
+func TestFig2SmokeAndOrdering(t *testing.T) {
+	res, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Cells) != 5 {
+			t.Fatalf("row %s has %d cells, want 5", row.Label, len(row.Cells))
+		}
+		for _, c := range row.Cells {
+			// Ratios are normalized by a near-optimal denominator; allow a
+			// small undercut from the denominator's smoothing slack.
+			if c.Stats.Mean < 0.98 {
+				t.Errorf("%s/%s ratio %g < 0.98 — offline denominator broken",
+					row.Label, c.Name, c.Stats.Mean)
+			}
+			if c.Stats.Mean > 50 {
+				t.Errorf("%s/%s ratio %g implausibly large", row.Label, c.Name, c.Stats.Mean)
+			}
+		}
+		// stat-opt optimizes the whole static cost; the paper's ordering
+		// within the atomistic group puts it at or below oper-opt on total
+		// cost in nearly every case — here we only require online-approx
+		// to be no worse than the worst atomistic algorithm.
+		ap, _ := res.Cell(row.Label, "online-approx")
+		worst := 0.0
+		for _, n := range []string{"perf-opt", "oper-opt", "stat-opt"} {
+			if c, ok := res.Cell(row.Label, n); ok && c.Stats.Mean > worst {
+				worst = c.Stats.Mean
+			}
+		}
+		if ap.Stats.Mean > worst+1e-9 {
+			t.Errorf("%s: online-approx %g worse than the worst atomistic %g",
+				row.Label, ap.Stats.Mean, worst)
+		}
+	}
+}
+
+func TestFig4EpsilonRows(t *testing.T) {
+	p := tiny()
+	p.Reps = 1
+	res, err := Fig4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epsRows, muRows int
+	for _, row := range res.Rows {
+		switch {
+		case strings.HasPrefix(row.Label, "eps="):
+			epsRows++
+		case strings.HasPrefix(row.Label, "mu="):
+			muRows++
+		}
+	}
+	if epsRows != 7 || muRows != 7 {
+		t.Errorf("eps rows %d, mu rows %d; want 7 and 7", epsRows, muRows)
+	}
+}
+
+func TestFig5UserSweep(t *testing.T) {
+	p := tiny()
+	res, err := Fig5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 scaled user counts", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if _, ok := res.Cell(row.Label, "online-approx"); !ok {
+			t.Errorf("row %s missing online-approx", row.Label)
+		}
+		if _, ok := res.Cell(row.Label, "online-greedy"); !ok {
+			t.Errorf("row %s missing online-greedy", row.Label)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("fig1", Params{}); err != nil {
+		t.Errorf("ByName(fig1): %v", err)
+	}
+	if _, err := ByName("9", Params{}); err == nil {
+		t.Error("ByName accepted unknown figure")
+	}
+}
+
+func TestWriteTableRendering(t *testing.T) {
+	res, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fig 1", "example-a", "example-b", "online-greedy", "9.6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

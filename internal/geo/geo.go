@@ -1,0 +1,78 @@
+// Package geo provides the geographic primitives of the evaluation setup:
+// latitude/longitude points, great-circle (haversine) distance, and
+// nearest-site search. The paper measures all network delays by the
+// geographic distance between GPS locations (§V-A), which this package
+// reproduces.
+package geo
+
+import "math"
+
+// EarthRadiusKm is the mean Earth radius used by the haversine formula.
+const EarthRadiusKm = 6371.0
+
+// Point is a WGS84 latitude/longitude pair in degrees.
+type Point struct {
+	Lat, Lon float64
+}
+
+// DistanceKm returns the great-circle distance between two points in
+// kilometres.
+func DistanceKm(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// Nearest returns the index of the site closest to p and the distance to
+// it in kilometres. It returns (-1, +Inf) for an empty site list.
+func Nearest(p Point, sites []Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, s := range sites {
+		if d := DistanceKm(p, s); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// DistanceMatrixKm returns the symmetric pairwise distance matrix of the
+// sites with a zero diagonal.
+func DistanceMatrixKm(sites []Point) [][]float64 {
+	m := make([][]float64, len(sites))
+	for i := range m {
+		m[i] = make([]float64, len(sites))
+	}
+	for i := range sites {
+		for k := i + 1; k < len(sites); k++ {
+			d := DistanceKm(sites[i], sites[k])
+			m[i][k] = d
+			m[k][i] = d
+		}
+	}
+	return m
+}
+
+// Interpolate returns the point a fraction f of the way from a to b along
+// the straight chord in lat/lon space, which is accurate at city scale.
+// f is clamped to [0, 1].
+func Interpolate(a, b Point, f float64) Point {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return Point{
+		Lat: a.Lat + f*(b.Lat-a.Lat),
+		Lon: a.Lon + f*(b.Lon-a.Lon),
+	}
+}

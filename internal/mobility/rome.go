@@ -1,0 +1,61 @@
+// Package mobility provides the user-mobility substrates of the paper's
+// evaluation: the 15 Rome metro stations hosting the edge clouds, the
+// metro-line adjacency used by the random-walk model of §V-D, and a
+// synthetic taxi mobility model standing in for the CRAWDAD Rome taxi
+// dataset (see DESIGN.md §3 for the substitution argument).
+package mobility
+
+import "edgealloc/internal/geo"
+
+// Station is one metro station hosting an edge cloud.
+type Station struct {
+	Name string
+	Loc  geo.Point
+}
+
+// RomeStations are the 15 central Rome metro stations used as edge-cloud
+// sites, with coordinates collected from the map (as the paper did
+// manually on Google Maps). Indices are the cloud identifiers.
+var RomeStations = []Station{
+	{"Cornelia", geo.Point{Lat: 41.9024, Lon: 12.4289}},          // 0  (line A)
+	{"Cipro", geo.Point{Lat: 41.9074, Lon: 12.4477}},             // 1  (line A)
+	{"Ottaviano", geo.Point{Lat: 41.9098, Lon: 12.4589}},         // 2  (line A)
+	{"Lepanto", geo.Point{Lat: 41.9096, Lon: 12.4703}},           // 3  (line A)
+	{"Flaminio", geo.Point{Lat: 41.9109, Lon: 12.4766}},          // 4  (line A)
+	{"Spagna", geo.Point{Lat: 41.9066, Lon: 12.4829}},            // 5  (line A)
+	{"Barberini", geo.Point{Lat: 41.9038, Lon: 12.4886}},         // 6  (line A)
+	{"Repubblica", geo.Point{Lat: 41.9031, Lon: 12.4956}},        // 7  (line A)
+	{"Termini", geo.Point{Lat: 41.9009, Lon: 12.5012}},           // 8  (interchange A/B)
+	{"Vittorio Emanuele", geo.Point{Lat: 41.8950, Lon: 12.5059}}, // 9  (line A)
+	{"San Giovanni", geo.Point{Lat: 41.8860, Lon: 12.5093}},      // 10 (line A)
+	{"Cavour", geo.Point{Lat: 41.8939, Lon: 12.4979}},            // 11 (line B)
+	{"Colosseo", geo.Point{Lat: 41.8902, Lon: 12.4924}},          // 12 (line B)
+	{"Circo Massimo", geo.Point{Lat: 41.8826, Lon: 12.4857}},     // 13 (line B)
+	{"Piramide", geo.Point{Lat: 41.8765, Lon: 12.4814}},          // 14 (line B)
+}
+
+// RomeMetroAdjacency returns the neighbour lists of the metro graph:
+// consecutive stations on line A (0..10) and line B
+// (Termini 8 → Cavour 11 → Colosseo 12 → Circo Massimo 13 → Piramide 14),
+// with Termini as the interchange.
+func RomeMetroAdjacency() [][]int {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 10}, // line A
+		{8, 11}, {11, 12}, {12, 13}, {13, 14}, // line B
+	}
+	adj := make([][]int, len(RomeStations))
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// StationPoints returns the station coordinates in index order.
+func StationPoints() []geo.Point {
+	pts := make([]geo.Point, len(RomeStations))
+	for i, s := range RomeStations {
+		pts[i] = s.Loc
+	}
+	return pts
+}

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file provides JSON persistence for instances and schedules, so
+// that scenarios generated once (e.g. by cmd/tracegen + scenario
+// builders) can be archived, diffed, and replayed across runs and
+// machines — the reproducibility workflow the evaluation section relies
+// on.
+
+// WriteInstance encodes the instance as indented JSON.
+func WriteInstance(w io.Writer, in *Instance) error {
+	if err := in.Validate(); err != nil {
+		return fmt.Errorf("model: refusing to write invalid instance: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(in); err != nil {
+		return fmt.Errorf("model: encoding instance: %w", err)
+	}
+	return nil
+}
+
+// ReadInstance decodes and validates an instance.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var in Instance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding instance: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// scheduleDTO is the wire form of a schedule: shape plus slot matrices.
+type scheduleDTO struct {
+	I, J  int
+	Slots [][]float64
+}
+
+// WriteSchedule encodes a schedule as JSON.
+func WriteSchedule(w io.Writer, s Schedule) error {
+	if len(s) == 0 {
+		return fmt.Errorf("model: refusing to write empty schedule")
+	}
+	dto := scheduleDTO{I: s[0].I, J: s[0].J}
+	for t, x := range s {
+		if x.I != dto.I || x.J != dto.J || len(x.X) != dto.I*dto.J {
+			return fmt.Errorf("model: slot %d has shape %dx%d, want %dx%d",
+				t, x.I, x.J, dto.I, dto.J)
+		}
+		dto.Slots = append(dto.Slots, x.X)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(dto); err != nil {
+		return fmt.Errorf("model: encoding schedule: %w", err)
+	}
+	return nil
+}
+
+// ReadSchedule decodes a schedule.
+func ReadSchedule(r io.Reader) (Schedule, error) {
+	var dto scheduleDTO
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("model: decoding schedule: %w", err)
+	}
+	if dto.I <= 0 || dto.J <= 0 {
+		return nil, fmt.Errorf("model: schedule shape %dx%d invalid", dto.I, dto.J)
+	}
+	s := make(Schedule, 0, len(dto.Slots))
+	for t, xs := range dto.Slots {
+		if len(xs) != dto.I*dto.J {
+			return nil, fmt.Errorf("model: slot %d has %d entries, want %d",
+				t, len(xs), dto.I*dto.J)
+		}
+		s = append(s, Alloc{I: dto.I, J: dto.J, X: xs})
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("model: schedule has no slots")
+	}
+	return s, nil
+}

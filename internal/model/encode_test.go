@@ -1,0 +1,105 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := ToyExampleA()
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != in.I || got.J != in.J || got.T != in.T {
+		t.Fatalf("shape %d/%d/%d, want %d/%d/%d", got.I, got.J, got.T, in.I, in.J, in.T)
+	}
+	if got.OpPrice[1][0] != 2.1 {
+		t.Errorf("OpPrice lost: %v", got.OpPrice)
+	}
+	if got.Init == nil || got.Init.At(ToyCloudA, 0) != 1 {
+		t.Error("Init allocation lost in round trip")
+	}
+	// Costs must be identical through the round trip.
+	sched := ToyStay(in, ToyCloudA)
+	b1, err := in.Evaluate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Evaluate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Total(b1) != got.Total(b2) {
+		t.Errorf("cost changed through round trip: %g != %g", in.Total(b1), got.Total(b2))
+	}
+}
+
+func TestWriteInstanceRejectsInvalid(t *testing.T) {
+	in := ToyExampleA()
+	in.Workload[0] = -1
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err == nil {
+		t.Fatal("WriteInstance accepted an invalid instance")
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"not json",
+		`{"I": 1}`,                     // invalid instance
+		`{"Bogus": 1, "I": 1, "J": 1}`, // unknown field
+	} {
+		if _, err := ReadInstance(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadInstance accepted %q", in)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	in := ToyExampleA()
+	s := ToyFollow(in)
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("slots = %d, want %d", len(got), len(s))
+	}
+	for t2 := range s {
+		for k := range s[t2].X {
+			if got[t2].X[k] != s[t2].X[k] {
+				t.Fatalf("slot %d differs", t2)
+			}
+		}
+	}
+}
+
+func TestScheduleEncodeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, nil); err == nil {
+		t.Error("WriteSchedule accepted empty schedule")
+	}
+	ragged := Schedule{NewAlloc(2, 2), NewAlloc(3, 2)}
+	if err := WriteSchedule(&buf, ragged); err == nil {
+		t.Error("WriteSchedule accepted ragged schedule")
+	}
+	for _, in := range []string{
+		`{"I":0,"J":2,"Slots":[[1,2]]}`,
+		`{"I":2,"J":2,"Slots":[[1,2,3]]}`,
+		`{"I":2,"J":2,"Slots":[]}`,
+	} {
+		if _, err := ReadSchedule(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadSchedule accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomInstanceAndSchedule builds a small random instance plus a random
+// feasible-shape schedule for invariant checks.
+func randomInstanceAndSchedule(rng *rand.Rand) (*Instance, Schedule) {
+	nI := 2 + rng.Intn(3)
+	nJ := 1 + rng.Intn(3)
+	tt := 2 + rng.Intn(5)
+	in := &Instance{
+		I: nI, J: nJ, T: tt,
+		Capacity:    make([]float64, nI),
+		InterDelay:  make([][]float64, nI),
+		Workload:    make([]float64, nJ),
+		ReconfPrice: make([]float64, nI),
+		MigOutPrice: make([]float64, nI),
+		MigInPrice:  make([]float64, nI),
+		WOp:         0.5 + rng.Float64(),
+		WSq:         0.5 + rng.Float64(),
+		WRc:         0.5 + rng.Float64(),
+		WMg:         0.5 + rng.Float64(),
+	}
+	for i := 0; i < nI; i++ {
+		in.Capacity[i] = 5 + 5*rng.Float64()
+		in.ReconfPrice[i] = rng.Float64()
+		in.MigOutPrice[i] = rng.Float64()
+		in.MigInPrice[i] = rng.Float64()
+		in.InterDelay[i] = make([]float64, nI)
+	}
+	for i := 0; i < nI; i++ {
+		for k := i + 1; k < nI; k++ {
+			d := rng.Float64()
+			in.InterDelay[i][k] = d
+			in.InterDelay[k][i] = d
+		}
+	}
+	for j := 0; j < nJ; j++ {
+		in.Workload[j] = 1 + float64(rng.Intn(3))
+	}
+	sched := make(Schedule, tt)
+	for t := 0; t < tt; t++ {
+		in.OpPrice = append(in.OpPrice, randomRow(nI, rng))
+		att := make([]int, nJ)
+		acc := make([]float64, nJ)
+		for j := range att {
+			att[j] = rng.Intn(nI)
+			acc[j] = rng.Float64()
+		}
+		in.Attach = append(in.Attach, att)
+		in.AccessDelay = append(in.AccessDelay, acc)
+		x := NewAlloc(nI, nJ)
+		for k := range x.X {
+			x.X[k] = 2 * rng.Float64()
+		}
+		sched[t] = x
+	}
+	return in, sched
+}
+
+func randomRow(n int, rng *rand.Rand) []float64 {
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = rng.Float64()
+	}
+	return row
+}
+
+// TestWindowDecompositionInvariant: splitting the horizon into two
+// windows chained through their boundary allocation must reproduce the
+// full-horizon cost exactly — the invariant receding-horizon policies
+// (baseline.Lookahead) rely on.
+func TestWindowDecompositionInvariant(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(71))}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, sched := randomInstanceAndSchedule(rng)
+		if err := in.Validate(); err != nil {
+			return false
+		}
+		full, err := in.Evaluate(sched)
+		if err != nil {
+			return false
+		}
+		cut := 1 + rng.Intn(in.T-1)
+		w1, err := in.Window(0, cut, in.InitialAlloc())
+		if err != nil {
+			return false
+		}
+		b1, err := w1.Evaluate(sched[:cut])
+		if err != nil {
+			return false
+		}
+		w2, err := in.Window(cut, in.T-cut, sched[cut-1])
+		if err != nil {
+			return false
+		}
+		b2, err := w2.Evaluate(sched[cut:])
+		if err != nil {
+			return false
+		}
+		sum := in.Total(b1) + in.Total(b2)
+		return math.Abs(sum-in.Total(full)) <= 1e-9*(1+math.Abs(in.Total(full)))
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvaluateMatchesSlotSums: Evaluate must equal the sum of the
+// per-slot static and transition costs it is defined from.
+func TestEvaluateMatchesSlotSums(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(72))}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, sched := randomInstanceAndSchedule(rng)
+		b, err := in.Evaluate(sched)
+		if err != nil {
+			return false
+		}
+		var manual Breakdown
+		prev := in.InitialAlloc()
+		for t := 0; t < in.T; t++ {
+			op, sq := in.SlotStatic(t, sched[t])
+			rc, mg := in.SlotDynamic(prev, sched[t])
+			manual.Add(Breakdown{Op: op, Sq: sq, Rc: rc, Mg: mg})
+			prev = sched[t]
+		}
+		return math.Abs(in.Total(b)-in.Total(manual)) <= 1e-9*(1+math.Abs(in.Total(b)))
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationNeverNegative: both P0 and P1 dynamic costs are
+// nonnegative for any pair of allocations.
+func TestMigrationNeverNegative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(73))}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, sched := randomInstanceAndSchedule(rng)
+		for t := 1; t < in.T; t++ {
+			rc, mg := in.SlotDynamic(sched[t-1], sched[t])
+			rc1, mg1 := in.SlotDynamicP1(sched[t-1], sched[t])
+			if rc < 0 || mg < 0 || rc1 < 0 || mg1 < 0 {
+				return false
+			}
+			// Identical reconfiguration under both accountings.
+			if math.Abs(rc-rc1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"fmt"
+
+	"edgealloc/internal/model"
+)
+
+// AdversarialConfig parameterizes PingPong, a worst-case-style instance
+// family exploring the lower-bound question the paper leaves as future
+// work ("The lower bounds on the competitive ratio will be explored as a
+// future work", §IV Remark).
+type AdversarialConfig struct {
+	// Horizon is the number of slots (default 12).
+	Horizon int
+	// Spike is the factor by which the expensive cloud's operation price
+	// exceeds the cheap one's each slot (default 3).
+	Spike float64
+	// Dynamic is the migration+reconfiguration price per unit moved
+	// (default 1). The regime Dynamic ≈ Spike−1 is the hardest: moving
+	// and staying cost nearly the same for one slot, so a myopic policy
+	// cannot tell the bait from a real shift.
+	Dynamic float64
+}
+
+// PingPong builds a two-cloud, one-user instance whose operation prices
+// alternate between the clouds every slot: whichever cloud holds the
+// workload becomes expensive next slot. Online policies are forced to
+// either chase (paying dynamic costs every slot) or endure the spikes;
+// the offline optimum pays at most one migration per price phase. The
+// instance family stresses exactly the trade-off the regularization is
+// designed for, and empirically probes how close the algorithm's ratio
+// can be pushed toward the Theorem-2 bound.
+func PingPong(cfg AdversarialConfig) (*model.Instance, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 12
+	}
+	if cfg.Horizon < 2 {
+		return nil, fmt.Errorf("scenario: adversarial horizon %d too short", cfg.Horizon)
+	}
+	if cfg.Spike == 0 {
+		cfg.Spike = 3
+	}
+	if cfg.Spike <= 1 {
+		return nil, fmt.Errorf("scenario: adversarial spike %g must exceed 1", cfg.Spike)
+	}
+	if cfg.Dynamic == 0 {
+		cfg.Dynamic = 1
+	}
+	if cfg.Dynamic < 0 {
+		return nil, fmt.Errorf("scenario: adversarial dynamic price %g negative", cfg.Dynamic)
+	}
+
+	in := &model.Instance{
+		I:           2,
+		J:           1,
+		T:           cfg.Horizon,
+		Capacity:    []float64{2, 2},
+		InterDelay:  [][]float64{{0, 0.1}, {0.1, 0}},
+		Workload:    []float64{1},
+		ReconfPrice: []float64{cfg.Dynamic / 2, cfg.Dynamic / 2},
+		MigOutPrice: []float64{cfg.Dynamic / 4, cfg.Dynamic / 4},
+		MigInPrice:  []float64{cfg.Dynamic / 4, cfg.Dynamic / 4},
+		WOp:         1, WSq: 1, WRc: 1, WMg: 1,
+	}
+	for t := 0; t < cfg.Horizon; t++ {
+		prices := []float64{1, 1}
+		prices[t%2] = cfg.Spike // alternate which cloud is expensive
+		in.OpPrice = append(in.OpPrice, prices)
+		in.Attach = append(in.Attach, []int{t % 2})
+		in.AccessDelay = append(in.AccessDelay, []float64{0.2})
+	}
+	init := model.NewAlloc(2, 1)
+	init.Set(1, 0, 1) // start on the cloud about to stay cheap in slot 0
+	in.Init = &init
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: adversarial instance invalid: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func TestPingPongStructure(t *testing.T) {
+	in, err := PingPong(AdversarialConfig{Horizon: 8, Spike: 4, Dynamic: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.I != 2 || in.J != 1 || in.T != 8 {
+		t.Fatalf("shape %d/%d/%d", in.I, in.J, in.T)
+	}
+	for t2 := 0; t2 < in.T; t2++ {
+		expensive := t2 % 2
+		if in.OpPrice[t2][expensive] != 4 || in.OpPrice[t2][1-expensive] != 1 {
+			t.Fatalf("slot %d prices %v, want spike on cloud %d", t2, in.OpPrice[t2], expensive)
+		}
+	}
+}
+
+func TestPingPongValidation(t *testing.T) {
+	cases := []AdversarialConfig{
+		{Horizon: 1},
+		{Spike: 0.5},
+		{Dynamic: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := PingPong(cfg); err == nil {
+			t.Errorf("PingPong(%+v) accepted invalid config", cfg)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package sim is the discrete-time simulation harness: it runs an
+// allocation algorithm over an instance, evaluates the resulting schedule
+// under the true objective P0, verifies feasibility, and aggregates
+// statistics across repetitions — the role played by the authors' Python
+// simulator in §V.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"edgealloc/internal/model"
+)
+
+// Algorithm is any allocation policy: given a validated instance it
+// produces one allocation per slot. Online algorithms must only use
+// information revealed up to each slot; that discipline is enforced by
+// their own constructions (see internal/core and internal/baseline), not
+// by the harness.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Solve produces a full schedule for the instance.
+	Solve(in *model.Instance) (model.Schedule, error)
+}
+
+// Run is the outcome of one algorithm execution on one instance.
+type Run struct {
+	Algorithm string
+	Schedule  model.Schedule
+	Breakdown model.Breakdown
+	// Total is the weighted P0 objective of the schedule.
+	Total   float64
+	Elapsed time.Duration
+}
+
+// feasTol is the feasibility tolerance applied to every produced
+// schedule; the first-order solvers meet it with two orders of margin.
+const feasTol = 1e-4
+
+// Execute runs the algorithm, checks feasibility of its schedule, and
+// evaluates the true weighted cost.
+func Execute(in *model.Instance, alg Algorithm) (*Run, error) {
+	start := time.Now()
+	sched, err := alg.Solve(in)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", alg.Name(), err)
+	}
+	elapsed := time.Since(start)
+	if err := in.CheckFeasible(sched, feasTol); err != nil {
+		return nil, fmt.Errorf("sim: %s produced infeasible schedule: %w", alg.Name(), err)
+	}
+	b, err := in.Evaluate(sched)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", alg.Name(), err)
+	}
+	return &Run{
+		Algorithm: alg.Name(),
+		Schedule:  sched,
+		Breakdown: b,
+		Total:     in.Total(b),
+		Elapsed:   elapsed,
+	}, nil
+}
+
+// Stats summarizes a sample of values.
+type Stats struct {
+	Mean, Std float64
+	Min, Max  float64
+	N         int
+}
+
+// Summarize computes mean, sample standard deviation, and range.
+func Summarize(vals []float64) Stats {
+	s := Stats{N: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.N == 0 {
+		return Stats{}
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range vals {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}

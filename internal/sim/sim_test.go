@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"edgealloc/internal/model"
+)
+
+// fixedAlg returns a canned schedule (or error) for testing the harness.
+type fixedAlg struct {
+	name  string
+	sched model.Schedule
+	err   error
+}
+
+func (f *fixedAlg) Name() string { return f.name }
+
+func (f *fixedAlg) Solve(*model.Instance) (model.Schedule, error) {
+	return f.sched, f.err
+}
+
+var _ Algorithm = (*fixedAlg)(nil)
+
+func feasibleSchedule(in *model.Instance) model.Schedule {
+	s := make(model.Schedule, in.T)
+	for t := range s {
+		x := model.NewAlloc(in.I, in.J)
+		x.Set(0, 0, 1)
+		s[t] = x
+	}
+	return s
+}
+
+func TestExecuteHappyPath(t *testing.T) {
+	in := model.ToyExampleA()
+	run, err := Execute(in, &fixedAlg{name: "canned", sched: feasibleSchedule(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Algorithm != "canned" {
+		t.Errorf("Algorithm = %q", run.Algorithm)
+	}
+	if run.Total <= 0 {
+		t.Errorf("Total = %g", run.Total)
+	}
+	want, err := in.Evaluate(run.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Total(want); math.Abs(got-run.Total) > 1e-12 {
+		t.Errorf("Total %g != evaluated %g", run.Total, got)
+	}
+}
+
+func TestExecutePropagatesAlgorithmError(t *testing.T) {
+	in := model.ToyExampleA()
+	sentinel := errors.New("boom")
+	_, err := Execute(in, &fixedAlg{name: "failing", err: sentinel})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "failing") {
+		t.Errorf("error %q does not name the algorithm", err)
+	}
+}
+
+func TestExecuteRejectsInfeasibleSchedule(t *testing.T) {
+	in := model.ToyExampleA()
+	// Under-serve the single user.
+	bad := make(model.Schedule, in.T)
+	for t2 := range bad {
+		bad[t2] = model.NewAlloc(in.I, in.J)
+	}
+	_, err := Execute(in, &fixedAlg{name: "cheater", sched: bad})
+	if err == nil {
+		t.Fatal("Execute accepted an infeasible schedule")
+	}
+	if !strings.Contains(err.Error(), "infeasible") {
+		t.Errorf("error %q does not mention infeasibility", err)
+	}
+}
+
+func TestExecuteRejectsWrongLengthSchedule(t *testing.T) {
+	in := model.ToyExampleA()
+	short := feasibleSchedule(in)[:1]
+	if _, err := Execute(in, &fixedAlg{name: "short", sched: short}); err == nil {
+		t.Fatal("Execute accepted a short schedule")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Sample std of {1,2,3,4} is sqrt(5/3).
+	if want := math.Sqrt(5.0 / 3.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std, want)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 || z.Std != 0 {
+		t.Errorf("empty stats = %+v, want zero value", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Std != 0 || one.Min != 7 || one.Max != 7 {
+		t.Errorf("single stats = %+v", one)
+	}
+}

@@ -1,0 +1,280 @@
+// Package alm implements an augmented-Lagrangian method for smooth convex
+// minimization under sparse linear inequality constraints and box bounds:
+//
+//	minimize    f(x)
+//	subject to  A_k·x ≥ b_k   for every row k
+//	            lower ≤ x ≤ upper.
+//
+// Each outer iteration minimizes the augmented Lagrangian over the box with
+// FISTA (internal/solver/fista) and then updates the multiplier estimates;
+// the converged multipliers are the dual variables of the constraints, which
+// the competitive analysis of the paper's algorithm consumes directly
+// (the θ'_{j,t} and ρ'_{i,t} of its KKT system). This package replaces the
+// role of IPOPT in the paper's evaluation pipeline.
+package alm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edgealloc/internal/solver/fista"
+)
+
+// Constraint is one sparse inequality row Σ_k Coeffs[k]·x[Idx[k]] ≥ RHS.
+type Constraint struct {
+	Idx    []int
+	Coeffs []float64
+	RHS    float64
+}
+
+// Problem is a smooth convex program over a box with GE rows.
+type Problem struct {
+	// Obj is the smooth convex objective (gradient oracle).
+	Obj fista.Objective
+	// N is the number of variables.
+	N int
+	// Cons are the inequality rows, all in A·x ≥ b form.
+	Cons []Constraint
+	// Lower and Upper are optional box bounds passed through to the inner
+	// solver; nil means unbounded on that side.
+	Lower, Upper []float64
+}
+
+// Options tunes the outer loop. Zero values select defaults.
+type Options struct {
+	// MaxOuter bounds multiplier updates (default 80).
+	MaxOuter int
+	// InnerIters bounds FISTA iterations per subproblem (default 1500).
+	InnerIters int
+	// Penalty is the initial quadratic penalty ρ (default 1).
+	Penalty float64
+	// PenaltyGrowth multiplies ρ when feasibility stalls (default 4).
+	PenaltyGrowth float64
+	// FeasTol is the absolute constraint-violation tolerance, scaled by
+	// 1+|RHS| per row (default 1e-7).
+	FeasTol float64
+	// ObjTol is the relative objective-change tolerance across outer
+	// iterations (default 1e-9).
+	ObjTol float64
+	// DualTol is the relative multiplier-movement tolerance across outer
+	// iterations (default 1e-6); tighter values yield more accurate dual
+	// variables at the cost of extra outer iterations.
+	DualTol float64
+	// WarmX optionally seeds the primal point (copied, not retained).
+	WarmX []float64
+	// WarmDuals optionally seeds the multipliers (copied, not retained).
+	WarmDuals []float64
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	X []float64
+	// Objective is f(X) — the original objective without penalty terms.
+	Objective float64
+	// Duals are the nonnegative multipliers of the GE rows.
+	Duals []float64
+	// MaxViolation is max_k (b_k − A_k·X)⁺ scaled by 1+|b_k|.
+	MaxViolation float64
+	Outer        int
+	InnerIters   int
+	Converged    bool
+}
+
+// ErrBadProblem reports malformed input.
+var ErrBadProblem = errors.New("alm: malformed problem")
+
+const maxPenalty = 1e9
+
+// Solve runs the augmented-Lagrangian loop. The error is non-nil only for
+// malformed input; lack of convergence is reported via Result.Converged.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("%w: N=%d", ErrBadProblem, p.N)
+	}
+	for k, c := range p.Cons {
+		if len(c.Idx) != len(c.Coeffs) {
+			return nil, fmt.Errorf("%w: row %d has %d indices, %d coefficients",
+				ErrBadProblem, k, len(c.Idx), len(c.Coeffs))
+		}
+		for _, j := range c.Idx {
+			if j < 0 || j >= p.N {
+				return nil, fmt.Errorf("%w: row %d references variable %d of %d",
+					ErrBadProblem, k, j, p.N)
+			}
+		}
+	}
+	if opts.WarmX != nil && len(opts.WarmX) != p.N {
+		return nil, fmt.Errorf("%w: len(WarmX)=%d, want %d", ErrBadProblem, len(opts.WarmX), p.N)
+	}
+	if opts.WarmDuals != nil && len(opts.WarmDuals) != len(p.Cons) {
+		return nil, fmt.Errorf("%w: len(WarmDuals)=%d, want %d",
+			ErrBadProblem, len(opts.WarmDuals), len(p.Cons))
+	}
+
+	maxOuter := opts.MaxOuter
+	if maxOuter <= 0 {
+		maxOuter = 80
+	}
+	innerIters := opts.InnerIters
+	if innerIters <= 0 {
+		innerIters = 1500
+	}
+	rho := opts.Penalty
+	if rho <= 0 {
+		rho = 1
+	}
+	growth := opts.PenaltyGrowth
+	if growth <= 1 {
+		growth = 4
+	}
+	feasTol := opts.FeasTol
+	if feasTol <= 0 {
+		feasTol = 1e-7
+	}
+	objTol := opts.ObjTol
+	if objTol <= 0 {
+		objTol = 1e-9
+	}
+	dualTol := opts.DualTol
+	if dualTol <= 0 {
+		dualTol = 1e-6
+	}
+
+	x := make([]float64, p.N)
+	if opts.WarmX != nil {
+		copy(x, opts.WarmX)
+	}
+	y := make([]float64, len(p.Cons))
+	if opts.WarmDuals != nil {
+		copy(y, opts.WarmDuals)
+		for k := range y {
+			if y[k] < 0 {
+				y[k] = 0
+			}
+		}
+	}
+
+	res := &Result{}
+	if len(p.Cons) == 0 {
+		inner, err := fista.Minimize(p.Obj, x, fista.Options{
+			MaxIters: innerIters, Tol: objTol, Lower: p.Lower, Upper: p.Upper,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.X, res.Objective, res.Converged = inner.X, inner.F, inner.Converged
+		res.InnerIters = inner.Iters
+		res.Duals = y
+		return res, nil
+	}
+
+	slack := make([]float64, len(p.Cons)) // s_k = b_k − A_k·x
+	lag := &lagrangian{p: p, y: y, rho: rho}
+
+	prevObj := math.Inf(1)
+	prevViol := math.Inf(1)
+	innerTol := 1e-5
+	for outer := 0; outer < maxOuter; outer++ {
+		res.Outer = outer + 1
+		lag.rho = rho
+		inner, err := fista.Minimize(lag, x, fista.Options{
+			MaxIters: innerIters, Tol: innerTol, Lower: p.Lower, Upper: p.Upper,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.InnerIters += inner.Iters
+		x = inner.X
+
+		// Multiplier update, violation and dual-movement measurement.
+		viol, dualMove := 0.0, 0.0
+		for k, c := range p.Cons {
+			ax := 0.0
+			for t, j := range c.Idx {
+				ax += c.Coeffs[t] * x[j]
+			}
+			s := c.RHS - ax
+			slack[k] = s
+			yNew := math.Max(0, y[k]+rho*s)
+			if d := math.Abs(yNew-y[k]) / (1 + yNew); d > dualMove {
+				dualMove = d
+			}
+			y[k] = yNew
+			if v := s / (1 + math.Abs(c.RHS)); v > viol {
+				viol = v
+			}
+		}
+
+		obj := p.Obj.Eval(x, nil)
+		relObjChange := math.Abs(obj-prevObj) / (1 + math.Abs(obj))
+		if viol <= feasTol && relObjChange <= objTol && dualMove <= dualTol {
+			res.Converged = true
+			prevObj = obj
+			break
+		}
+		prevObj = obj
+
+		// Grow the penalty when feasibility is not improving fast enough.
+		// Once feasible, keep ρ fixed: the multiplier update is then a
+		// proximal-point step on the dual and larger ρ only amplifies the
+		// inner solver's noise in the duals.
+		if viol > feasTol && viol > 0.25*prevViol && rho < maxPenalty {
+			rho *= growth
+		}
+		prevViol = viol
+		if innerTol > 1e-10 {
+			innerTol *= 0.2
+		}
+	}
+
+	res.X = x
+	res.Objective = p.Obj.Eval(x, nil)
+	res.Duals = y
+	for _, c := range p.Cons {
+		ax := 0.0
+		for t, j := range c.Idx {
+			ax += c.Coeffs[t] * x[j]
+		}
+		if v := (c.RHS - ax) / (1 + math.Abs(c.RHS)); v > res.MaxViolation {
+			res.MaxViolation = v
+		}
+	}
+	return res, nil
+}
+
+// lagrangian evaluates the augmented Lagrangian
+// f(x) + Σ_k h_ρ(y_k, s_k) with s_k = b_k − A_k·x and
+// h_ρ(y, s) = (max(0, y+ρs)² − y²) / (2ρ),
+// whose x-gradient is ∇f(x) − Σ_k max(0, y_k+ρ s_k)·A_k.
+type lagrangian struct {
+	p   *Problem
+	y   []float64
+	rho float64
+}
+
+var _ fista.Objective = (*lagrangian)(nil)
+
+// Eval implements fista.Objective.
+func (l *lagrangian) Eval(x, grad []float64) float64 {
+	f := l.p.Obj.Eval(x, grad)
+	for k, c := range l.p.Cons {
+		ax := 0.0
+		for t, j := range c.Idx {
+			ax += c.Coeffs[t] * x[j]
+		}
+		s := c.RHS - ax
+		m := l.y[k] + l.rho*s
+		if m > 0 {
+			f += (m*m - l.y[k]*l.y[k]) / (2 * l.rho)
+			if grad != nil {
+				for t, j := range c.Idx {
+					grad[j] -= m * c.Coeffs[t]
+				}
+			}
+		} else {
+			f -= l.y[k] * l.y[k] / (2 * l.rho)
+		}
+	}
+	return f
+}

@@ -1,0 +1,229 @@
+package alm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgealloc/internal/solver/fista"
+	"edgealloc/internal/solver/simplex"
+)
+
+// linear builds a linear objective c·x.
+func linear(c []float64) fista.Func {
+	return func(x, grad []float64) float64 {
+		f := 0.0
+		for j := range x {
+			f += c[j] * x[j]
+			if grad != nil {
+				grad[j] = c[j]
+			}
+		}
+		return f
+	}
+}
+
+func denseRow(coeffs []float64, rhs float64) Constraint {
+	idx := make([]int, len(coeffs))
+	for j := range idx {
+		idx[j] = j
+	}
+	return Constraint{Idx: idx, Coeffs: coeffs, RHS: rhs}
+}
+
+func TestSolveSimpleLP(t *testing.T) {
+	// min 2x + y s.t. x + y >= 3, x,y >= 0 → (0,3), objective 3.
+	p := &Problem{
+		Obj:   linear([]float64{2, 1}),
+		N:     2,
+		Cons:  []Constraint{denseRow([]float64{1, 1}, 3)},
+		Lower: []float64{0, 0},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("not converged, violation %g", res.MaxViolation)
+	}
+	if math.Abs(res.Objective-3) > 1e-5 {
+		t.Errorf("objective = %g, want 3", res.Objective)
+	}
+	if math.Abs(res.X[0]) > 1e-4 || math.Abs(res.X[1]-3) > 1e-4 {
+		t.Errorf("x = %v, want (0,3)", res.X)
+	}
+	// Dual of the single row is min(c) = 1 by LP duality.
+	if math.Abs(res.Duals[0]-1) > 1e-4 {
+		t.Errorf("dual = %g, want 1", res.Duals[0])
+	}
+}
+
+func TestSolveProjectionQP(t *testing.T) {
+	// min Σ (x_j - d_j)^2 s.t. Σ x_j >= b, x >= 0.
+	// With d=(1,2) and b=5: ν solves Σ max(0, d_j + ν/2) = 5 → ν = 2,
+	// x = (2,3).
+	d := []float64{1, 2}
+	obj := fista.Func(func(x, grad []float64) float64 {
+		f := 0.0
+		for j := range x {
+			f += (x[j] - d[j]) * (x[j] - d[j])
+			if grad != nil {
+				grad[j] = 2 * (x[j] - d[j])
+			}
+		}
+		return f
+	})
+	p := &Problem{
+		Obj:   obj,
+		N:     2,
+		Cons:  []Constraint{denseRow([]float64{1, 1}, 5)},
+		Lower: []float64{0, 0},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-5 || math.Abs(res.X[1]-3) > 1e-5 {
+		t.Errorf("x = %v, want (2,3)", res.X)
+	}
+	if math.Abs(res.Duals[0]-2) > 1e-4 {
+		t.Errorf("dual = %g, want ν = 2", res.Duals[0])
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	obj := fista.Func(func(x, grad []float64) float64 {
+		if grad != nil {
+			grad[0] = 2*x[0] - 4
+		}
+		return x[0]*x[0] - 4*x[0]
+	})
+	res, err := Solve(&Problem{Obj: obj, N: 1, Lower: []float64{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 {
+		t.Errorf("x = %g, want 2", res.X[0])
+	}
+}
+
+func TestSolveWarmStartConsistency(t *testing.T) {
+	p := &Problem{
+		Obj:   linear([]float64{1, 3}),
+		N:     2,
+		Cons:  []Constraint{denseRow([]float64{1, 1}, 2)},
+		Lower: []float64{0, 0},
+	}
+	cold, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(p, Options{WarmX: cold.X, WarmDuals: cold.Duals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+		t.Errorf("warm objective %g != cold %g", warm.Objective, cold.Objective)
+	}
+	if warm.InnerIters > cold.InnerIters {
+		t.Logf("warm start used more inner iterations (%d > %d) — acceptable but unusual",
+			warm.InnerIters, cold.InnerIters)
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	obj := linear([]float64{1})
+	tests := []struct {
+		name string
+		p    *Problem
+		opts Options
+	}{
+		{"zero N", &Problem{Obj: obj, N: 0}, Options{}},
+		{"bad index", &Problem{Obj: obj, N: 1,
+			Cons: []Constraint{{Idx: []int{5}, Coeffs: []float64{1}, RHS: 0}}}, Options{}},
+		{"len mismatch", &Problem{Obj: obj, N: 1,
+			Cons: []Constraint{{Idx: []int{0}, Coeffs: []float64{1, 2}, RHS: 0}}}, Options{}},
+		{"bad warm x", &Problem{Obj: obj, N: 1}, Options{WarmX: []float64{1, 2}}},
+		{"bad warm duals", &Problem{Obj: obj, N: 1,
+			Cons: []Constraint{{Idx: []int{0}, Coeffs: []float64{1}, RHS: 0}}},
+			Options{WarmDuals: []float64{1, 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Solve(tt.p, tt.opts); err == nil {
+				t.Error("Solve accepted malformed input")
+			}
+		})
+	}
+}
+
+// TestSolveAgreesWithSimplex cross-checks the first-order solver against the
+// exact simplex LP solver on random feasible bounded LPs with GE rows.
+func TestSolveAgreesWithSimplex(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(3))}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = 0.05 + rng.Float64()
+		}
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = 3 * rng.Float64()
+		}
+		lp := &simplex.Problem{C: c}
+		ap := &Problem{Obj: linear(c), N: n, Lower: make([]float64, n)}
+		for k := 0; k < m; k++ {
+			row := make([]float64, n)
+			lhs := 0.0
+			for j := range row {
+				row[j] = rng.Float64() // nonnegative rows keep the LP bounded+feasible
+				lhs += row[j] * x0[j]
+			}
+			rhs := lhs * (0.5 + 0.5*rng.Float64())
+			lp.Cons = append(lp.Cons, simplex.Constraint{Coeffs: row, Sense: simplex.GE, RHS: rhs})
+			ap.Cons = append(ap.Cons, denseRow(row, rhs))
+		}
+		exact, err := simplex.Solve(lp)
+		if err != nil || exact.Status != simplex.Optimal {
+			return false
+		}
+		res, err := Solve(ap, Options{MaxOuter: 120})
+		if err != nil {
+			return false
+		}
+		if res.MaxViolation > 1e-5 {
+			return false
+		}
+		return math.Abs(res.Objective-exact.Objective) <= 2e-4*(1+math.Abs(exact.Objective))
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveDualObjectiveMatches checks strong duality y·b == c·x on a
+// nondegenerate LP, validating that Duals really are the LP duals.
+func TestSolveDualObjectiveMatches(t *testing.T) {
+	// min x + 2y s.t. x + y >= 4, x + 3y >= 6, x,y >= 0.
+	p := &Problem{
+		Obj: linear([]float64{1, 2}),
+		N:   2,
+		Cons: []Constraint{
+			denseRow([]float64{1, 1}, 4),
+			denseRow([]float64{1, 3}, 6),
+		},
+		Lower: []float64{0, 0},
+	}
+	res, err := Solve(p, Options{MaxOuter: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualObj := 4*res.Duals[0] + 6*res.Duals[1]
+	if math.Abs(dualObj-res.Objective) > 1e-4*(1+math.Abs(res.Objective)) {
+		t.Errorf("dual objective %g != primal %g (duals %v)", dualObj, res.Objective, res.Duals)
+	}
+}

@@ -1,0 +1,196 @@
+// Package fista implements the fast iterative shrinkage-thresholding
+// algorithm (FISTA, Beck & Teboulle 2009) for minimizing a smooth convex
+// function over a box, with backtracking line search and adaptive restart.
+//
+// It is the inner workhorse of the augmented-Lagrangian solver
+// (internal/solver/alm): every subproblem there is a smooth convex
+// objective over the nonnegative orthant, which is exactly the shape this
+// package handles. Together they replace the interior-point solver (IPOPT)
+// used in the paper's evaluation.
+package fista
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Objective is a smooth convex function with a gradient oracle.
+type Objective interface {
+	// Eval returns f(x) and, when grad is non-nil, writes ∇f(x) into grad.
+	// Implementations must not retain x or grad.
+	Eval(x, grad []float64) float64
+}
+
+// Func adapts a plain function to the Objective interface.
+type Func func(x, grad []float64) float64
+
+// Eval implements Objective.
+func (f Func) Eval(x, grad []float64) float64 { return f(x, grad) }
+
+var _ Objective = Func(nil)
+
+// Options configures a minimization run. The zero value picks sensible
+// defaults (see Minimize).
+type Options struct {
+	// MaxIters bounds the number of accelerated iterations (default 2000).
+	MaxIters int
+	// Tol is the convergence tolerance on the scaled projected-gradient
+	// norm and relative objective change (default 1e-8).
+	Tol float64
+	// InitStep is the initial step size tried by the backtracking search
+	// (default 1). The search also re-grows the step between iterations,
+	// so a bad guess costs only a few extra function evaluations.
+	InitStep float64
+	// Lower and Upper are optional elementwise bounds. A nil slice means
+	// unbounded on that side. Most callers pass Lower = zeros for x ≥ 0.
+	Lower, Upper []float64
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X         []float64
+	F         float64
+	Iters     int
+	Converged bool
+	// FuncEvals counts objective evaluations including line-search trials.
+	FuncEvals int
+}
+
+// ErrDimension reports mismatched slice lengths in the inputs.
+var ErrDimension = errors.New("fista: dimension mismatch")
+
+const (
+	backtrackShrink = 0.5
+	stepGrow        = 1.3
+	minStep         = 1e-18
+	// stagnantLimit is the number of consecutive iterations with relative
+	// objective change below Tol required to declare convergence; a single
+	// flat step is not trusted because accelerated methods are
+	// non-monotone between restarts.
+	stagnantLimit = 5
+)
+
+// Minimize runs FISTA from x0 and returns the best point found. x0 is not
+// modified. The error is non-nil only for malformed input.
+func Minimize(obj Objective, x0 []float64, opts Options) (*Result, error) {
+	n := len(x0)
+	if opts.Lower != nil && len(opts.Lower) != n {
+		return nil, fmt.Errorf("%w: len(Lower)=%d, len(x0)=%d", ErrDimension, len(opts.Lower), n)
+	}
+	if opts.Upper != nil && len(opts.Upper) != n {
+		return nil, fmt.Errorf("%w: len(Upper)=%d, len(x0)=%d", ErrDimension, len(opts.Upper), n)
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 2000
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	step := opts.InitStep
+	if step <= 0 {
+		step = 1
+	}
+
+	clip := func(x []float64) {
+		for j := range x {
+			if opts.Lower != nil && x[j] < opts.Lower[j] {
+				x[j] = opts.Lower[j]
+			}
+			if opts.Upper != nil && x[j] > opts.Upper[j] {
+				x[j] = opts.Upper[j]
+			}
+		}
+	}
+
+	x := append([]float64(nil), x0...)
+	clip(x)
+	y := append([]float64(nil), x...)
+	xNew := make([]float64, n)
+	grad := make([]float64, n)
+
+	res := &Result{}
+	fx := obj.Eval(x, nil)
+	res.FuncEvals++
+	tMom := 1.0
+	stagnant := 0 // consecutive iterations with negligible objective change
+
+	for it := 0; it < maxIters; it++ {
+		res.Iters = it + 1
+		fy := obj.Eval(y, grad)
+		res.FuncEvals++
+
+		// Backtracking: find step s with sufficient decrease from y.
+		var fNew float64
+		for {
+			for j := range xNew {
+				xNew[j] = y[j] - step*grad[j]
+			}
+			clip(xNew)
+			fNew = obj.Eval(xNew, nil)
+			res.FuncEvals++
+			// Quadratic upper-bound condition of FISTA backtracking.
+			q := fy
+			dd := 0.0
+			for j := range xNew {
+				d := xNew[j] - y[j]
+				q += grad[j] * d
+				dd += d * d
+			}
+			q += dd / (2 * step)
+			if fNew <= q+1e-12*(1+math.Abs(q)) {
+				break
+			}
+			step *= backtrackShrink
+			if step < minStep {
+				// Gradient is numerically zero or the objective is not
+				// smooth here; accept the current point.
+				copy(xNew, y)
+				fNew = fy
+				break
+			}
+		}
+
+		relDrop := math.Abs(fx-fNew) / (1 + math.Abs(fx))
+		if relDrop <= tol {
+			stagnant++
+		} else {
+			stagnant = 0
+		}
+
+		// Adaptive restart on objective increase (O'Donoghue & Candès):
+		// discard the non-monotone step and retry plain gradient from x.
+		if fNew > fx {
+			tMom = 1
+			copy(y, x)
+			step *= backtrackShrink
+			if stagnant >= stagnantLimit || step < minStep {
+				res.Converged = true
+				break
+			}
+			continue
+		}
+
+		tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
+		beta := (tMom - 1) / tNext
+		for j := range y {
+			y[j] = xNew[j] + beta*(xNew[j]-x[j])
+		}
+		clip(y)
+		tMom = tNext
+		copy(x, xNew)
+		fx = fNew
+		step *= stepGrow
+
+		if stagnant >= stagnantLimit {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.X = x
+	res.F = fx
+	return res, nil
+}

@@ -1,0 +1,438 @@
+// Package simplex implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  A_k x  {≤, ≥, =}  b_k   for every constraint k
+//	            x ≥ 0,
+//
+// returning both the optimal primal point and the dual multipliers. It is
+// the exact ground-truth solver used throughout the repository to validate
+// the large-scale first-order solvers (see internal/solver/alm) on small
+// instances, playing the role GLPK played in the paper's evaluation.
+//
+// The implementation keeps a dense tableau, uses Dantzig pricing with an
+// automatic switch to Bland's rule to guarantee termination, and recovers
+// dual values from the reduced costs of slack and artificial columns.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relation of a constraint row to its right-hand side.
+type Sense int
+
+// Constraint senses. LE is A·x ≤ b, GE is A·x ≥ b, EQ is A·x = b.
+const (
+	LE Sense = iota + 1
+	GE
+	EQ
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Constraint is one linear row A·x (sense) b.
+type Constraint struct {
+	// Coeffs holds the row of A. Its length must equal the number of
+	// structural variables of the problem.
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over nonnegative variables.
+type Problem struct {
+	// C is the cost vector of the minimization objective.
+	C []float64
+	// Cons are the linear constraints.
+	Cons []Constraint
+}
+
+// Status reports how a solve terminated.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a successful solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // optimal structural variables (len == len(C))
+	Objective float64   // c·x at the optimum
+	// Duals holds one multiplier per constraint, with the sign convention
+	// that strong duality reads Objective == Σ_k Duals[k]·RHS[k] whenever
+	// every RHS-independent term is zero. GE rows have Duals ≥ 0, LE rows
+	// have Duals ≤ 0, EQ rows are free.
+	Duals      []float64
+	Iterations int
+}
+
+// ErrDimension reports inconsistent problem dimensions.
+var ErrDimension = errors.New("simplex: constraint length does not match objective length")
+
+const (
+	tol          = 1e-9
+	ratioTol     = 1e-11
+	blandTrigger = 8 // switch to Bland's rule after m*n*blandTrigger pivots
+)
+
+// tableau is the dense working state of the solver.
+type tableau struct {
+	m, n     int // constraint rows, structural variables
+	cols     int // structural + slack/surplus + artificial
+	nSlack   int
+	nArt     int
+	rows     [][]float64 // m rows, each cols+1 wide (last entry RHS)
+	basis    []int       // basic variable of each row
+	slackOf  []int       // constraint index -> slack column (-1 if none)
+	artOf    []int       // constraint index -> artificial column (-1 if none)
+	slackDir []float64   // +1 for LE slack, -1 for GE surplus
+	rowSign  []float64   // +1 if the row kept its sign, -1 if negated
+}
+
+// Solve optimizes the problem and returns the solution. The returned error
+// is non-nil only for malformed input; infeasibility and unboundedness are
+// reported through Solution.Status with a nil error.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.C)
+	for k, con := range p.Cons {
+		if len(con.Coeffs) != n {
+			return nil, fmt.Errorf("%w: constraint %d has %d coefficients, want %d",
+				ErrDimension, k, len(con.Coeffs), n)
+		}
+		switch con.Sense {
+		case LE, GE, EQ:
+		default:
+			return nil, fmt.Errorf("simplex: constraint %d has invalid sense %d", k, int(con.Sense))
+		}
+	}
+
+	t := newTableau(p)
+	iters := 0
+
+	// Phase 1: minimize the sum of artificial variables.
+	if t.nArt > 0 {
+		phase1 := make([]float64, t.cols)
+		for _, c := range t.artOf {
+			if c >= 0 {
+				phase1[c] = 1
+			}
+		}
+		obj, it, unbounded := t.optimize(phase1, nil)
+		iters += it
+		if unbounded {
+			// The phase-1 objective is bounded below by 0; this cannot
+			// happen with exact arithmetic and signals numerical failure.
+			return nil, errors.New("simplex: phase 1 reported unbounded (numerical failure)")
+		}
+		if obj > 1e-7 {
+			return &Solution{Status: Infeasible, Iterations: iters}, nil
+		}
+		t.evictArtificials()
+	}
+
+	// Phase 2: minimize the true objective, artificials barred from entering.
+	cost := make([]float64, t.cols)
+	copy(cost, p.C)
+	barred := make([]bool, t.cols)
+	for _, c := range t.artOf {
+		if c >= 0 {
+			barred[c] = true
+		}
+	}
+	_, it, unbounded := t.optimize(cost, barred)
+	iters += it
+	if unbounded {
+		return &Solution{Status: Unbounded, Iterations: iters}, nil
+	}
+
+	sol := &Solution{
+		Status:     Optimal,
+		X:          make([]float64, n),
+		Duals:      make([]float64, t.m),
+		Iterations: iters,
+	}
+	for r, bv := range t.basis {
+		if bv < n {
+			sol.X[bv] = t.rows[r][t.cols]
+		}
+	}
+	for j := range sol.X {
+		if sol.X[j] < 0 && sol.X[j] > -tol {
+			sol.X[j] = 0
+		}
+	}
+	for j, cj := range p.C {
+		sol.Objective += cj * sol.X[j]
+	}
+	t.extractDuals(cost, sol.Duals)
+	return sol, nil
+}
+
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.Cons), len(p.C)
+	t := &tableau{
+		m:        m,
+		n:        n,
+		slackOf:  make([]int, m),
+		artOf:    make([]int, m),
+		slackDir: make([]float64, m),
+		rowSign:  make([]float64, m),
+	}
+	// Count columns: every LE/GE row gets a slack/surplus; a row needs an
+	// artificial unless it is an LE row with nonnegative RHS (after sign
+	// normalization), whose slack can start basic.
+	nSlack, nArt := 0, 0
+	type rowPlan struct {
+		sign       float64
+		sense      Sense // sense after sign normalization
+		slack, art bool
+	}
+	plans := make([]rowPlan, m)
+	for k, con := range p.Cons {
+		pl := rowPlan{sign: 1, sense: con.Sense}
+		if con.RHS < 0 {
+			pl.sign = -1
+			switch con.Sense {
+			case LE:
+				pl.sense = GE
+			case GE:
+				pl.sense = LE
+			}
+		}
+		switch pl.sense {
+		case LE:
+			pl.slack = true
+		case GE:
+			pl.slack = true
+			pl.art = true
+		case EQ:
+			pl.art = true
+		}
+		if pl.slack {
+			nSlack++
+		}
+		if pl.art {
+			nArt++
+		}
+		plans[k] = pl
+	}
+	t.nSlack, t.nArt = nSlack, nArt
+	t.cols = n + nSlack + nArt
+	t.rows = make([][]float64, m)
+	t.basis = make([]int, m)
+
+	slackCol := n
+	artCol := n + nSlack
+	for k, con := range p.Cons {
+		pl := plans[k]
+		row := make([]float64, t.cols+1)
+		for j, a := range con.Coeffs {
+			row[j] = pl.sign * a
+		}
+		row[t.cols] = pl.sign * con.RHS
+		t.rowSign[k] = pl.sign
+		t.slackOf[k], t.artOf[k] = -1, -1
+		if pl.slack {
+			dir := 1.0
+			if pl.sense == GE {
+				dir = -1
+			}
+			row[slackCol] = dir
+			t.slackOf[k] = slackCol
+			t.slackDir[k] = dir
+			slackCol++
+		}
+		if pl.art {
+			row[artCol] = 1
+			t.artOf[k] = artCol
+			t.basis[k] = artCol
+			artCol++
+		} else {
+			t.basis[k] = t.slackOf[k]
+		}
+		t.rows[k] = row
+	}
+	return t
+}
+
+// optimize runs primal simplex pivots for the given cost vector until
+// optimality or unboundedness. barred marks columns that may not enter.
+// It returns the final objective value of the working cost vector.
+func (t *tableau) optimize(cost []float64, barred []bool) (obj float64, iters int, unbounded bool) {
+	// Reduced-cost row maintained incrementally: r = cost - cB·rows.
+	red := make([]float64, t.cols+1)
+	copy(red, cost)
+	for r, bv := range t.basis {
+		cb := cost[bv]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			red[j] -= cb * t.rows[r][j]
+		}
+	}
+
+	maxIters := 200 + 40*(t.m+t.cols)*blandTrigger
+	bland := false
+	for ; iters < maxIters; iters++ {
+		if iters > (t.m+1)*(t.cols+1)*blandTrigger/2 {
+			bland = true
+		}
+		enter := -1
+		if bland {
+			for j := 0; j < t.cols; j++ {
+				if (barred == nil || !barred[j]) && red[j] < -tol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -tol
+			for j := 0; j < t.cols; j++ {
+				if (barred == nil || !barred[j]) && red[j] < best {
+					best, enter = red[j], j
+				}
+			}
+		}
+		if enter < 0 {
+			return -red[t.cols], iters, false
+		}
+
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			a := t.rows[r][enter]
+			if a <= ratioTol {
+				continue
+			}
+			ratio := t.rows[r][t.cols] / a
+			if ratio < bestRatio-tol || (ratio < bestRatio+tol && (leave < 0 || t.basis[r] < t.basis[leave])) {
+				bestRatio, leave = ratio, r
+			}
+		}
+		if leave < 0 {
+			return 0, iters, true
+		}
+		t.pivot(leave, enter, red)
+	}
+	// Iteration limit: with Bland's rule active this is unreachable for
+	// consistent data; treat as converged-at-current-point.
+	return -red[t.cols], iters, false
+}
+
+// pivot makes column enter basic in row leave, updating the reduced costs.
+func (t *tableau) pivot(leave, enter int, red []float64) {
+	prow := t.rows[leave]
+	pv := prow[enter]
+	inv := 1 / pv
+	for j := 0; j <= t.cols; j++ {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // kill round-off
+	for r := 0; r < t.m; r++ {
+		if r == leave {
+			continue
+		}
+		f := t.rows[r][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[r]
+		for j := 0; j <= t.cols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+	}
+	if f := red[enter]; f != 0 {
+		for j := 0; j <= t.cols; j++ {
+			red[j] -= f * prow[j]
+		}
+		red[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// evictArtificials pivots basic artificial variables out of the basis after
+// phase 1, or drops redundant rows that cannot be pivoted.
+func (t *tableau) evictArtificials() {
+	isArt := func(col int) bool { return col >= t.n+t.nSlack }
+	for r := 0; r < t.m; r++ {
+		if !isArt(t.basis[r]) {
+			continue
+		}
+		// The artificial is basic at value ~0. Pivot in any usable column.
+		enter := -1
+		for j := 0; j < t.n+t.nSlack; j++ {
+			if math.Abs(t.rows[r][j]) > 1e-7 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			continue // redundant row; harmless to keep with artificial at 0
+		}
+		dummy := make([]float64, t.cols+1)
+		t.pivot(r, enter, dummy)
+	}
+}
+
+// extractDuals recovers constraint multipliers from the reduced costs of
+// the slack (or artificial) column of each row under the phase-2 cost.
+func (t *tableau) extractDuals(cost []float64, duals []float64) {
+	red := make([]float64, t.cols)
+	copy(red, cost[:t.cols])
+	for r, bv := range t.basis {
+		cb := cost[bv]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			red[j] -= cb * t.rows[r][j]
+		}
+	}
+	for k := 0; k < t.m; k++ {
+		var y float64
+		if sc := t.slackOf[k]; sc >= 0 {
+			// Column is slackDir*e_k (in the sign-normalized system):
+			// red = 0 - y'·(dir·e_k) => y'_k = -red/dir.
+			y = -red[sc] / t.slackDir[k]
+		} else if ac := t.artOf[k]; ac >= 0 {
+			// Artificial column is e_k with zero phase-2 cost.
+			y = -red[ac]
+		}
+		// Undo the row sign normalization: row was multiplied by rowSign.
+		duals[k] = y * t.rowSign[k]
+	}
+}

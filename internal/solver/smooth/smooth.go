@@ -1,0 +1,78 @@
+// Package smooth provides the softplus smoothing of the hinge (x)⁺ used to
+// make the piecewise-linear reconfiguration and migration costs
+// differentiable, so that the first-order solvers (internal/solver/fista,
+// internal/solver/alm) apply to the online-greedy and offline-opt
+// objectives.
+//
+// The smoothing is
+//
+//	softplus_μ(x) = μ·ln(1 + e^{x/μ}),
+//
+// a convex upper bound of max(x, 0) with maximum error μ·ln2 (attained at
+// x = 0) and derivative sigmoid(x/μ) ∈ (0,1). Solvers anneal μ toward zero
+// (continuation), so the smoothing error is driven below the effects being
+// measured; EXPERIMENTS.md records the schedules used.
+package smooth
+
+import "math"
+
+// Hinge returns (x)⁺ = max(x, 0), the exact function being smoothed.
+func Hinge(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Softplus evaluates softplus_μ(x) in a numerically stable way. mu must be
+// positive.
+func Softplus(x, mu float64) float64 {
+	z := x / mu
+	switch {
+	case z > 30:
+		// e^{-z} underflows the correction; softplus(x) ≈ x exactly.
+		return x
+	case z < -30:
+		return mu * math.Exp(z) // ln(1+e^z) ≈ e^z
+	case z > 0:
+		// ln(1+e^z) = z + ln(1+e^{-z}) avoids overflow for moderate z.
+		return x + mu*math.Log1p(math.Exp(-z))
+	default:
+		return mu * math.Log1p(math.Exp(z))
+	}
+}
+
+// SoftplusGrad returns d/dx softplus_μ(x) = sigmoid(x/μ).
+func SoftplusGrad(x, mu float64) float64 {
+	z := x / mu
+	switch {
+	case z > 30:
+		return 1
+	case z < -30:
+		return math.Exp(z)
+	default:
+		return 1 / (1 + math.Exp(-z))
+	}
+}
+
+// MaxError returns the worst-case gap softplus_μ(x) − (x)⁺ over all x,
+// which is μ·ln2.
+func MaxError(mu float64) float64 { return mu * math.Ln2 }
+
+// Schedule produces a continuation schedule of smoothing parameters from
+// start down to floor, shrinking by factor each step (factor in (0,1)).
+// It always includes floor as the last element. Schedule panics only on
+// programmer error (non-positive inputs), matching its use as a
+// package-internal configuration helper.
+func Schedule(start, floor, factor float64) []float64 {
+	if start <= 0 || floor <= 0 || factor <= 0 || factor >= 1 {
+		panic("smooth: Schedule requires start, floor > 0 and factor in (0,1)")
+	}
+	var mus []float64
+	// The 1e-9 slack keeps float round-off (e.g. 1×0.1³ = 0.001000…2) from
+	// emitting a step indistinguishable from the floor itself.
+	for mu := start; mu > floor*(1+1e-9); mu *= factor {
+		mus = append(mus, mu)
+	}
+	return append(mus, floor)
+}

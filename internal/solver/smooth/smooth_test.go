@@ -1,0 +1,111 @@
+package smooth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftplusKnownValues(t *testing.T) {
+	tests := []struct {
+		x, mu, want float64
+	}{
+		{0, 1, math.Ln2},
+		{0, 0.1, 0.1 * math.Ln2},
+		{100, 1, 100}, // deep linear regime
+		{-100, 1, 0},  // deep flat regime (≈ e^-100)
+		{1, 1, math.Log1p(math.E)},
+	}
+	for _, tt := range tests {
+		if got := Softplus(tt.x, tt.mu); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Softplus(%g, %g) = %g, want %g", tt.x, tt.mu, got, tt.want)
+		}
+	}
+}
+
+func TestSoftplusUpperBoundsHinge(t *testing.T) {
+	property := func(x float64, muRaw float64) bool {
+		mu := 1e-4 + math.Abs(muRaw)
+		if math.IsInf(x, 0) || math.IsNaN(x) || math.IsInf(mu, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		sp := Softplus(x, mu)
+		h := Hinge(x)
+		return sp >= h-1e-12 && sp-h <= MaxError(mu)+1e-12
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftplusGradMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 0; n < 200; n++ {
+		x := 20 * (rng.Float64() - 0.5)
+		mu := 0.05 + rng.Float64()
+		const h = 1e-6
+		fd := (Softplus(x+h, mu) - Softplus(x-h, mu)) / (2 * h)
+		if g := SoftplusGrad(x, mu); math.Abs(g-fd) > 1e-5 {
+			t.Fatalf("grad(%g, %g) = %g, finite diff %g", x, mu, g, fd)
+		}
+	}
+}
+
+func TestSoftplusGradMonotoneAndBounded(t *testing.T) {
+	prev := -1.0
+	for x := -50.0; x <= 50; x += 0.25 {
+		g := SoftplusGrad(x, 0.7)
+		if g < 0 || g > 1 {
+			t.Fatalf("grad out of [0,1]: %g at x=%g", g, x)
+		}
+		if g < prev-1e-12 {
+			t.Fatalf("grad not monotone at x=%g", x)
+		}
+		prev = g
+	}
+}
+
+func TestSoftplusConvex(t *testing.T) {
+	// Midpoint convexity on a grid.
+	for _, mu := range []float64{0.01, 0.5, 3} {
+		for a := -10.0; a <= 10; a += 0.7 {
+			for b := a + 0.3; b <= 10; b += 1.3 {
+				mid := Softplus((a+b)/2, mu)
+				avg := (Softplus(a, mu) + Softplus(b, mu)) / 2
+				if mid > avg+1e-12 {
+					t.Fatalf("not convex: mu=%g a=%g b=%g", mu, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	s := Schedule(1, 1e-3, 0.1)
+	if len(s) != 4 {
+		t.Fatalf("len = %d, want 4 (1, .1, .01, .001)", len(s))
+	}
+	if s[0] != 1 || s[len(s)-1] != 1e-3 {
+		t.Errorf("endpoints = %g, %g; want 1, 1e-3", s[0], s[len(s)-1])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] >= s[i-1] {
+			t.Errorf("schedule not decreasing at %d: %v", i, s)
+		}
+	}
+}
+
+func TestSchedulePanicsOnBadInput(t *testing.T) {
+	for _, args := range [][3]float64{{0, 1, 0.5}, {1, 0, 0.5}, {1, 1e-3, 1.5}, {1, 1e-3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Schedule(%v) did not panic", args)
+				}
+			}()
+			Schedule(args[0], args[1], args[2])
+		}()
+	}
+}

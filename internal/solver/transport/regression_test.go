@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgealloc/internal/solver/simplex"
+)
+
+// TestSolvePotentialMaintenance forces many augmentation rounds through
+// residual back-arcs: a chain where early cheap choices must be partially
+// undone. Classic regression for Johnson-potential bookkeeping.
+func TestSolvePotentialMaintenance(t *testing.T) {
+	// Source 0 is cheap for both sinks but can only cover one; the
+	// optimum must split against the initial greedy shortest path.
+	p := &Problem{
+		Cost: [][]float64{
+			{1, 1},
+			{2, 10},
+		},
+		Supply: []float64{1, 2},
+		Demand: []float64{1, 1},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, p, sol)
+	// Optimal: s0 covers d1 (cost 1), s1 covers d0 (cost 2): total 3.
+	if math.Abs(sol.Objective-3) > 1e-9 {
+		t.Errorf("objective = %g, want 3", sol.Objective)
+	}
+}
+
+func TestSolveTinyDemandsManySources(t *testing.T) {
+	// Fractional demands far below unit scale.
+	p := &Problem{
+		Cost:   [][]float64{{5}, {4}, {3}, {2}, {1}},
+		Supply: []float64{1e-3, 1e-3, 1e-3, 1e-3, 1e-3},
+		Demand: []float64{3.5e-3},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, p, sol)
+	// Fill cheapest first: 1,2,3 full + half of 4.
+	want := 1e-3*(1+2+3) + 0.5e-3*4
+	if math.Abs(sol.Objective-want) > 1e-12 {
+		t.Errorf("objective = %g, want %g", sol.Objective, want)
+	}
+}
+
+func TestSolveZeroCostTies(t *testing.T) {
+	// All-zero costs: any feasible plan is optimal; must terminate.
+	p := &Problem{
+		Cost:   [][]float64{{0, 0}, {0, 0}},
+		Supply: []float64{2, 2},
+		Demand: []float64{1.5, 1.5},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, p, sol)
+	if sol.Objective != 0 {
+		t.Errorf("objective = %g, want 0", sol.Objective)
+	}
+}
+
+// TestSolveLargeRandomAgainstSimplex is a heavier single cross-check at
+// the scale the atomistic algorithms actually use per slot.
+func TestSolveLargeRandomAgainstSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const nI, nJ = 8, 15
+	p := &Problem{
+		Cost:   make([][]float64, nI),
+		Supply: make([]float64, nI),
+		Demand: make([]float64, nJ),
+	}
+	total := 0.0
+	for j := range p.Demand {
+		p.Demand[j] = 1 + float64(rng.Intn(5))
+		total += p.Demand[j]
+	}
+	for i := range p.Supply {
+		p.Supply[i] = 1.25 * total / nI
+		p.Cost[i] = make([]float64, nJ)
+		for j := range p.Cost[i] {
+			p.Cost[i][j] = rng.Float64() * 3
+		}
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, p, sol)
+
+	lp := &simplex.Problem{C: make([]float64, nI*nJ)}
+	for i := 0; i < nI; i++ {
+		for j := 0; j < nJ; j++ {
+			lp.C[i*nJ+j] = p.Cost[i][j]
+		}
+	}
+	for i := 0; i < nI; i++ {
+		row := make([]float64, nI*nJ)
+		for j := 0; j < nJ; j++ {
+			row[i*nJ+j] = 1
+		}
+		lp.Cons = append(lp.Cons, simplex.Constraint{Coeffs: row, Sense: simplex.LE, RHS: p.Supply[i]})
+	}
+	for j := 0; j < nJ; j++ {
+		row := make([]float64, nI*nJ)
+		for i := 0; i < nI; i++ {
+			row[i*nJ+j] = 1
+		}
+		lp.Cons = append(lp.Cons, simplex.Constraint{Coeffs: row, Sense: simplex.GE, RHS: p.Demand[j]})
+	}
+	exact, err := simplex.Solve(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Status != simplex.Optimal {
+		t.Fatalf("LP status %v", exact.Status)
+	}
+	if math.Abs(sol.Objective-exact.Objective) > 1e-8*(1+exact.Objective) {
+		t.Errorf("flow %g != LP %g", sol.Objective, exact.Objective)
+	}
+}

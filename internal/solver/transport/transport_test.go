@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgealloc/internal/solver/simplex"
+)
+
+func TestSolveTextbookInstance(t *testing.T) {
+	// Same instance as the simplex package's transportation test.
+	p := &Problem{
+		Cost:   [][]float64{{2, 3, 1}, {5, 4, 8}},
+		Supply: []float64{20, 30},
+		Demand: []float64{10, 25, 15},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, p, sol)
+	// Optimal plan: s1 ships 5 to d1 and 15 to d3, s2 ships 5 to d1 and
+	// 25 to d2: cost 2*5+1*15+5*5+4*25 = 150.
+	if math.Abs(sol.Objective-150) > 1e-9 {
+		t.Errorf("objective = %g, want 150", sol.Objective)
+	}
+}
+
+func TestSolveZeroDemand(t *testing.T) {
+	p := &Problem{
+		Cost:   [][]float64{{1, 2}},
+		Supply: []float64{5},
+		Demand: []float64{0, 0},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 0 || sol.Augmentations != 0 {
+		t.Errorf("objective = %g, augment = %d, want 0, 0", sol.Objective, sol.Augmentations)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		Cost:   [][]float64{{1}},
+		Supply: []float64{2},
+		Demand: []float64{3},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+	}{
+		{"row count", Problem{Cost: [][]float64{{1}}, Supply: []float64{1, 2}, Demand: []float64{1}}},
+		{"row width", Problem{Cost: [][]float64{{1, 2}}, Supply: []float64{1}, Demand: []float64{1}}},
+		{"negative cost", Problem{Cost: [][]float64{{-1}}, Supply: []float64{1}, Demand: []float64{1}}},
+		{"NaN cost", Problem{Cost: [][]float64{{math.NaN()}}, Supply: []float64{1}, Demand: []float64{1}}},
+		{"negative supply", Problem{Cost: [][]float64{{1}}, Supply: []float64{-1}, Demand: []float64{1}}},
+		{"negative demand", Problem{Cost: [][]float64{{1}}, Supply: []float64{1}, Demand: []float64{-1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Solve(&tt.p); !errors.Is(err, ErrBadProblem) {
+				t.Errorf("err = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+func TestSolveSingleSourcePicksCheapest(t *testing.T) {
+	// One demand, several sources with spare capacity: all flow goes to
+	// the cheapest source.
+	p := &Problem{
+		Cost:   [][]float64{{4}, {1}, {7}},
+		Supply: []float64{10, 10, 10},
+		Demand: []float64{6},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow[1][0] != 6 || sol.Objective != 6 {
+		t.Errorf("flow = %v, objective = %g; want all 6 units on source 1", sol.Flow, sol.Objective)
+	}
+}
+
+func TestSolveForcedSplit(t *testing.T) {
+	// Cheapest source cannot carry the whole demand: flow must split.
+	p := &Problem{
+		Cost:   [][]float64{{1}, {5}},
+		Supply: []float64{4, 10},
+		Demand: []float64{9},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, p, sol)
+	want := 1*4.0 + 5*5.0
+	if math.Abs(sol.Objective-want) > 1e-9 {
+		t.Errorf("objective = %g, want %g", sol.Objective, want)
+	}
+}
+
+func checkFeasible(t *testing.T, p *Problem, sol *Solution) {
+	t.Helper()
+	for i := range p.Supply {
+		used := 0.0
+		for j := range p.Demand {
+			if sol.Flow[i][j] < 0 {
+				t.Errorf("flow[%d][%d] = %g negative", i, j, sol.Flow[i][j])
+			}
+			used += sol.Flow[i][j]
+		}
+		if used > p.Supply[i]+1e-9 {
+			t.Errorf("supply %d overused: %g > %g", i, used, p.Supply[i])
+		}
+	}
+	for j := range p.Demand {
+		served := 0.0
+		for i := range p.Supply {
+			served += sol.Flow[i][j]
+		}
+		if served < p.Demand[j]-1e-9 {
+			t.Errorf("demand %d unserved: %g < %g", j, served, p.Demand[j])
+		}
+	}
+}
+
+// TestSolveAgreesWithSimplex is the main correctness property: on random
+// feasible instances the flow solver must match the exact LP optimum.
+func TestSolveAgreesWithSimplex(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(5))}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nI := 1 + rng.Intn(5)
+		nJ := 1 + rng.Intn(6)
+		p := &Problem{
+			Cost:   make([][]float64, nI),
+			Supply: make([]float64, nI),
+			Demand: make([]float64, nJ),
+		}
+		totalDemand := 0.0
+		for j := range p.Demand {
+			p.Demand[j] = 4 * rng.Float64()
+			totalDemand += p.Demand[j]
+		}
+		// Guarantee feasibility: total supply = 1.25 × total demand.
+		share := make([]float64, nI)
+		sum := 0.0
+		for i := range share {
+			share[i] = 0.1 + rng.Float64()
+			sum += share[i]
+		}
+		for i := range p.Supply {
+			p.Supply[i] = 1.25 * totalDemand * share[i] / sum
+		}
+		for i := range p.Cost {
+			p.Cost[i] = make([]float64, nJ)
+			for j := range p.Cost[i] {
+				p.Cost[i][j] = 10 * rng.Float64()
+			}
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+
+		// Exact LP: variables x_ij row-major.
+		lp := &simplex.Problem{C: make([]float64, nI*nJ)}
+		for i := 0; i < nI; i++ {
+			for j := 0; j < nJ; j++ {
+				lp.C[i*nJ+j] = p.Cost[i][j]
+			}
+		}
+		for i := 0; i < nI; i++ {
+			row := make([]float64, nI*nJ)
+			for j := 0; j < nJ; j++ {
+				row[i*nJ+j] = 1
+			}
+			lp.Cons = append(lp.Cons, simplex.Constraint{Coeffs: row, Sense: simplex.LE, RHS: p.Supply[i]})
+		}
+		for j := 0; j < nJ; j++ {
+			row := make([]float64, nI*nJ)
+			for i := 0; i < nI; i++ {
+				row[i*nJ+j] = 1
+			}
+			lp.Cons = append(lp.Cons, simplex.Constraint{Coeffs: row, Sense: simplex.GE, RHS: p.Demand[j]})
+		}
+		exact, err := simplex.Solve(lp)
+		if err != nil || exact.Status != simplex.Optimal {
+			return false
+		}
+		return math.Abs(sol.Objective-exact.Objective) <= 1e-6*(1+math.Abs(exact.Objective))
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const nI, nJ = 15, 120
+	p := &Problem{
+		Cost:   make([][]float64, nI),
+		Supply: make([]float64, nI),
+		Demand: make([]float64, nJ),
+	}
+	total := 0.0
+	for j := range p.Demand {
+		p.Demand[j] = 1 + rng.Float64()
+		total += p.Demand[j]
+	}
+	for i := range p.Supply {
+		p.Supply[i] = 1.25 * total / nI
+		p.Cost[i] = make([]float64, nJ)
+		for j := range p.Cost[i] {
+			p.Cost[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

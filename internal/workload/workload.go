@@ -1,0 +1,125 @@
+// Package workload generates user workloads λ_j under the three
+// distributions of the paper's evaluation (§V-A): power-law (the highly
+// skewed case motivated by online social networks), uniform, and normal.
+// All generators produce positive integer workloads, matching the paper's
+// assumption λ_j ∈ ℤ⁺ (used by Lemma 6).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator draws one workload value. Implementations must return values
+// ≥ 1.
+type Generator interface {
+	// Sample draws a workload using the supplied source.
+	Sample(rng *rand.Rand) float64
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Power is a Pareto (power-law) workload: λ = ⌈Xm · U^(-1/Alpha)⌉ capped
+// at Cap to keep single users from dwarfing the system.
+type Power struct {
+	// Xm is the scale (minimum) parameter; values below 1 are treated as 1.
+	Xm float64
+	// Alpha is the tail exponent; the paper's "highly skewed" regime
+	// corresponds to small Alpha (default 1.5).
+	Alpha float64
+	// Cap truncates the tail (default 50·Xm).
+	Cap float64
+}
+
+// Name implements Generator.
+func (p Power) Name() string { return "power" }
+
+// Sample implements Generator.
+func (p Power) Sample(rng *rand.Rand) float64 {
+	xm := math.Max(p.Xm, 1)
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	cp := p.Cap
+	if cp <= 0 {
+		cp = 50 * xm
+	}
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	v := math.Ceil(xm * math.Pow(u, -1/alpha))
+	return math.Min(v, math.Max(cp, 1))
+}
+
+// Uniform draws integer workloads uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo, Hi int
+}
+
+// Name implements Generator.
+func (u Uniform) Name() string { return "uniform" }
+
+// Sample implements Generator.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	lo, hi := u.Lo, u.Hi
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return float64(lo + rng.Intn(hi-lo+1))
+}
+
+// Normal draws workloads from a rounded Gaussian truncated below at 1.
+type Normal struct {
+	Mean, Std float64
+}
+
+// Name implements Generator.
+func (n Normal) Name() string { return "normal" }
+
+// Sample implements Generator.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	mean := n.Mean
+	if mean <= 0 {
+		mean = 4
+	}
+	std := n.Std
+	if std <= 0 {
+		std = mean / 3
+	}
+	v := math.Round(mean + std*rng.NormFloat64())
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// ByName returns the generator for one of the paper's three distribution
+// names ("power", "uniform", "normal") with the defaults used throughout
+// the experiments.
+func ByName(name string) (Generator, error) {
+	switch name {
+	case "power":
+		return Power{Xm: 1, Alpha: 1.5}, nil
+	case "uniform":
+		return Uniform{Lo: 1, Hi: 8}, nil
+	case "normal":
+		return Normal{Mean: 4, Std: 1.5}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q", name)
+	}
+}
+
+// Sample draws J workloads from gen.
+func Sample(gen Generator, j int, rng *rand.Rand) []float64 {
+	out := make([]float64, j)
+	for k := range out {
+		out[k] = gen.Sample(rng)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAllGeneratorsProducePositiveIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gens := []Generator{
+		Power{Xm: 1, Alpha: 1.5},
+		Power{}, // defaults kick in
+		Uniform{Lo: 1, Hi: 8},
+		Uniform{}, // degenerate bounds clamp to 1
+		Normal{Mean: 4, Std: 1.5},
+		Normal{}, // defaults kick in
+	}
+	for _, g := range gens {
+		for n := 0; n < 2000; n++ {
+			v := g.Sample(rng)
+			if v < 1 {
+				t.Fatalf("%s produced %g < 1", g.Name(), v)
+			}
+			if v != math.Trunc(v) {
+				t.Fatalf("%s produced non-integer %g", g.Name(), v)
+			}
+		}
+	}
+}
+
+func TestPowerIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := Sample(Power{Xm: 1, Alpha: 1.2}, 4000, rng)
+	sort.Float64s(vals)
+	median := vals[len(vals)/2]
+	p99 := vals[len(vals)*99/100]
+	// A power law has a much heavier tail than its median.
+	if p99 < 5*median {
+		t.Errorf("p99 %g not much larger than median %g — not heavy-tailed", p99, median)
+	}
+	if max := vals[len(vals)-1]; max > 50 {
+		t.Errorf("cap violated: %g > default cap 50", max)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seen := map[float64]bool{}
+	for n := 0; n < 5000; n++ {
+		v := Uniform{Lo: 2, Hi: 5}.Sample(rng)
+		if v < 2 || v > 5 {
+			t.Fatalf("out of range: %g", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("saw %d distinct values, want 4", len(seen))
+	}
+}
+
+func TestNormalCentersOnMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := Sample(Normal{Mean: 10, Std: 2}, 8000, rng)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if mean := sum / float64(len(vals)); math.Abs(mean-10) > 0.2 {
+		t.Errorf("sample mean %g, want ≈10", mean)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"power", "uniform", "normal"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("Name() = %q, want %q", g.Name(), name)
+		}
+	}
+	if _, err := ByName("zipfian"); err == nil {
+		t.Error("ByName accepted unknown distribution")
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	a := Sample(Power{Xm: 1, Alpha: 1.5}, 50, rand.New(rand.NewSource(7)))
+	b := Sample(Power{Xm: 1, Alpha: 1.5}, 50, rand.New(rand.NewSource(7)))
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
