@@ -1,0 +1,37 @@
+# Tier-1 verification entry point. `make check` is what CI and every PR
+# must keep green: formatting, vet, build, tests, and the race detector
+# over the concurrent experiment engine.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench benchjson
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" ; echo "$$out" ; exit 1 ; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment engine runs (case, rep, algorithm) units on a worker
+# pool; every test runs under the race detector to keep it honest. The
+# detector slows the solver-heavy packages ~10x, so give each package
+# more than the 10m default before go test declares a hang.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Solver microbenchmarks (ns/op, B/op, allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/perf/
+
+# Machine-readable benchmark dump for the perf trajectory.
+benchjson:
+	$(GO) run ./cmd/edgebench -benchjson BENCH_solver.json

@@ -8,6 +8,8 @@ package edgealloc
 // EXPERIMENTS.md records paper-vs-measured at larger scales.
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -117,6 +119,30 @@ func BenchmarkFig5RandomWalk(b *testing.B) {
 			reportCells(b, res, "online-approx", nil)
 			reportCells(b, res, "online-greedy", nil)
 		}
+	}
+}
+
+// BenchmarkFig2ByWorkers measures the wall-clock effect of the parallel
+// experiment engine on one figure reproduction: the same Figure-2 grid at
+// 1 worker (the sequential order) and at one worker per CPU. Output rows
+// are bit-identical across worker counts (see the determinism regression
+// test in internal/experiments); on a multi-core host the many-worker
+// variant's ns/op drops near-linearly until the grid runs out of tasks.
+func BenchmarkFig2ByWorkers(b *testing.B) {
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1] // single-CPU host: nothing to compare against
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := benchParams()
+			p.Workers = w
+			for n := 0; n < b.N; n++ {
+				if _, err := ReproduceFigure("2", p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

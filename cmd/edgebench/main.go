@@ -1,12 +1,15 @@
 // Command edgebench runs the ablation studies that go beyond the paper's
-// figures: the value of prediction (lookahead windows), the entropy vs
+// figures — the value of prediction (lookahead windows), the entropy vs
 // quadratic regularization comparison, and the adversarial lower-bound
-// probe. See DESIGN.md §7 and EXPERIMENTS.md ("Beyond the paper").
+// probe — plus the solver microbenchmarks that track the performance
+// trajectory. See DESIGN.md §7/§8 and EXPERIMENTS.md ("Beyond the paper").
 //
 // Usage:
 //
 //	edgebench                      # all ablations at the default scale
 //	edgebench -ablation lookahead -users 20 -horizon 12 -reps 2
+//	edgebench -workers 4           # bound the experiment worker pool
+//	edgebench -benchjson BENCH_solver.json   # dump solver microbenchmarks
 package main
 
 import (
@@ -16,24 +19,46 @@ import (
 	"time"
 
 	"edgealloc/internal/experiments"
+	"edgealloc/internal/perf"
 )
 
 func main() {
 	var (
 		ablation = flag.String("ablation", "all",
 			"study to run: lookahead, regularizer, adversarial, or 'all'")
-		users   = flag.Int("users", 10, "number of mobile users J")
-		horizon = flag.Int("horizon", 8, "number of time slots T")
-		reps    = flag.Int("reps", 2, "independent repetitions")
-		seed    = flag.Int64("seed", 20140212, "base random seed")
+		users     = flag.Int("users", 10, "number of mobile users J")
+		horizon   = flag.Int("horizon", 8, "number of time slots T")
+		reps      = flag.Int("reps", 2, "independent repetitions")
+		seed      = flag.Int64("seed", 20140212, "base random seed")
+		workers   = flag.Int("workers", 0, "concurrent (row, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
+		benchjson = flag.String("benchjson", "",
+			"run the solver microbenchmarks and write machine-readable JSON to this file (e.g. BENCH_solver.json), skipping the ablations")
 	)
 	flag.Parse()
+
+	if *benchjson != "" {
+		recs := perf.RunAll()
+		perf.WriteTable(os.Stdout, recs)
+		f, err := os.Create(*benchjson)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := perf.WriteJSON(f, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchjson)
+		return
+	}
 
 	p := experiments.Params{
 		Users:   *users,
 		Horizon: *horizon,
 		Reps:    *reps,
 		Seed:    *seed,
+		Workers: *workers,
 	}
 	studies := []string{*ablation}
 	if *ablation == "all" {

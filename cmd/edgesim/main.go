@@ -32,6 +32,7 @@ func main() {
 		reps    = flag.Int("reps", 2, "independent repetitions per case")
 		cases   = flag.Int("cases", 3, "test cases (hours) for figures 2-3")
 		seed    = flag.Int64("seed", 20140212, "base random seed")
+		workers = flag.Int("workers", 0, "concurrent (case, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
 		dist    = flag.String("dist", "", "workload distribution override (power|uniform|normal)")
 		mu      = flag.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
 		mig     = flag.Float64("migscale", 0, "migration price scale (0 = default 1)")
@@ -47,6 +48,7 @@ func main() {
 		Reps:    *reps,
 		Cases:   *cases,
 		Seed:    *seed,
+		Workers: *workers,
 		Scenario: scenario.Config{
 			WorkloadDist:    *dist,
 			Mu:              *mu,

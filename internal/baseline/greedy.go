@@ -46,27 +46,35 @@ func (g *Greedy) Solve(in *model.Instance) (model.Schedule, error) {
 		sopts.Penalty = 2
 	}
 
+	// The price factors are slot-independent; build the objective once and
+	// rebind per slot, sharing one solver workspace across the horizon so
+	// repeated slots allocate nothing in the hot path.
 	cons := slotConstraints(in)
+	obj := &greedySlotObjective{
+		nI:      in.I,
+		nJ:      in.J,
+		coef:    make([]float64, in.I*in.J),
+		rc:      make([]float64, in.I),
+		bOut:    make([]float64, in.I),
+		bIn:     make([]float64, in.I),
+		tot:     make([]float64, in.I),
+		prevTot: make([]float64, in.I),
+	}
+	for i := 0; i < in.I; i++ {
+		obj.rc[i] = in.WRc * in.ReconfPrice[i]
+		obj.bOut[i] = in.WMg * in.MigOutPrice[i]
+		obj.bIn[i] = in.WMg * in.MigInPrice[i]
+	}
+	lower := make([]float64, in.I*in.J)
+	var ws alm.Workspace
+
 	prev := in.InitialAlloc()
 	sched := make(model.Schedule, 0, in.T)
 	var warmX, warmDuals []float64
 	for t := 0; t < in.T; t++ {
-		obj := &greedySlotObjective{
-			nI:      in.I,
-			nJ:      in.J,
-			coef:    in.StaticCoeff(t),
-			prev:    prev.X,
-			rc:      make([]float64, in.I),
-			bOut:    make([]float64, in.I),
-			bIn:     make([]float64, in.I),
-			tot:     make([]float64, in.I),
-			prevTot: prev.CloudTotals(),
-		}
-		for i := 0; i < in.I; i++ {
-			obj.rc[i] = in.WRc * in.ReconfPrice[i]
-			obj.bOut[i] = in.WMg * in.MigOutPrice[i]
-			obj.bIn[i] = in.WMg * in.MigInPrice[i]
-		}
+		in.StaticCoeffInto(t, obj.coef)
+		obj.prev = prev.X
+		prev.CloudTotalsInto(obj.prevTot)
 
 		if warmX == nil {
 			warmX = append([]float64(nil), prev.X...)
@@ -75,13 +83,14 @@ func (g *Greedy) Solve(in *model.Instance) (model.Schedule, error) {
 		for _, mu := range mus {
 			obj.mu = mu
 			opts := sopts
+			opts.Workspace = &ws
 			opts.WarmX = warmX
 			opts.WarmDuals = warmDuals
 			var err error
 			res, err = alm.Solve(&alm.Problem{
 				Obj:   obj,
 				N:     in.I * in.J,
-				Lower: make([]float64, in.I*in.J),
+				Lower: lower,
 				Cons:  cons,
 			}, opts)
 			if err != nil {

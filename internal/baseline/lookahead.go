@@ -42,6 +42,7 @@ func (l *Lookahead) Solve(in *model.Instance) (model.Schedule, error) {
 	if window <= 0 {
 		window = 3
 	}
+	off := &Offline{Solver: l.Solver, MuSchedule: l.MuSchedule}
 	prev := in.InitialAlloc()
 	sched := make(model.Schedule, 0, in.T)
 	for t := 0; t < in.T; t++ {
@@ -53,7 +54,6 @@ func (l *Lookahead) Solve(in *model.Instance) (model.Schedule, error) {
 		if err != nil {
 			return nil, fmt.Errorf("baseline: lookahead slot %d: %w", t, err)
 		}
-		off := &Offline{Solver: l.Solver, MuSchedule: l.MuSchedule}
 		plan, err := off.Solve(sub)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: lookahead slot %d: %w", t, err)

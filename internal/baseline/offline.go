@@ -84,18 +84,23 @@ func (o *Offline) Solve(in *model.Instance) (model.Schedule, error) {
 		copy(warm[t*nIJ:(t+1)*nIJ], x.X)
 	}
 
+	// One workspace shared across the continuation stages: each stage
+	// warm-starts from the previous one's (aliased) iterate and duals.
+	lower := make([]float64, in.T*nIJ)
+	var ws alm.Workspace
 	var res *alm.Result
 	var warmDuals []float64
 	for _, mu := range mus {
 		obj.mu = mu
 		opts := sopts
+		opts.Workspace = &ws
 		opts.WarmX = warm
 		opts.WarmDuals = warmDuals
 		var err error
 		res, err = alm.Solve(&alm.Problem{
 			Obj:   obj,
 			N:     in.T * nIJ,
-			Lower: make([]float64, in.T*nIJ),
+			Lower: lower,
 			Cons:  cons,
 		}, opts)
 		if err != nil {

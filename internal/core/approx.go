@@ -64,6 +64,10 @@ func (o Options) withDefaults() Options {
 
 // OnlineApprox runs the paper's online algorithm over an instance,
 // recording per-slot decisions and dual multipliers.
+//
+// Each OnlineApprox owns its solver workspace and per-instance caches, so
+// distinct instances may run concurrently; a single OnlineApprox must not
+// be shared between goroutines.
 type OnlineApprox struct {
 	inst *model.Instance
 	opts Options
@@ -80,6 +84,23 @@ type OnlineApprox struct {
 	thetas [][]float64
 	rhos   [][]float64
 	nus    [][]float64
+
+	// Per-instance caches, lazily built on the first Step: P2's constraint
+	// geometry and the objective's entropy constants are slot-independent,
+	// and the ALM workspace makes repeated Step calls allocation-free in
+	// the solver hot path. prevBuf backs prev across slots, userTot is the
+	// repair scratch, and thetaBuf/rhoBuf/nuBuf back the per-slot dual
+	// records, so steady-state Step allocates only the decision it returns.
+	cons     []alm.Constraint
+	lower    []float64
+	obj      *p2Objective
+	prob     alm.Problem
+	ws       alm.Workspace
+	prevBuf  []float64
+	userTot  []float64
+	thetaBuf []float64
+	rhoBuf   []float64
+	nuBuf    []float64
 }
 
 // NewOnlineApprox prepares a run over a validated instance. A nil
@@ -107,15 +128,32 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 		return model.Alloc{}, fmt.Errorf("core: Step(%d) out of order, expected %d", t, o.slot)
 	}
 	in := o.inst
-	obj := newP2Objective(in, t, o.prev, o.opts.Epsilon1, o.opts.Epsilon2)
+	if o.obj == nil {
+		o.obj = newP2ObjectiveConst(in, o.opts.Epsilon1, o.opts.Epsilon2)
+		o.cons = p2Constraints(in, t)
+		o.lower = make([]float64, in.I*in.J)
+		o.prevBuf = make([]float64, in.I*in.J)
+		copy(o.prevBuf, o.prev.X)
+		o.prev = model.Alloc{I: in.I, J: in.J, X: o.prevBuf}
+		o.userTot = make([]float64, in.J)
+		o.thetaBuf = make([]float64, in.T*in.J)
+		o.rhoBuf = make([]float64, in.T*in.I)
+		o.nuBuf = make([]float64, in.T*in.I)
+		o.schedule = make(model.Schedule, 0, in.T)
+		o.thetas = make([][]float64, 0, in.T)
+		o.rhos = make([][]float64, 0, in.T)
+		o.nus = make([][]float64, 0, in.T)
+	}
+	o.obj.bind(in, t, o.prev)
 
-	prob := &alm.Problem{
-		Obj:   obj,
+	o.prob = alm.Problem{
+		Obj:   o.obj,
 		N:     in.I * in.J,
-		Lower: make([]float64, in.I*in.J),
-		Cons:  p2Constraints(in, t),
+		Lower: o.lower,
+		Cons:  o.cons,
 	}
 	sopts := o.opts.Solver
+	sopts.Workspace = &o.ws
 	sopts.WarmX = o.prev.X
 	if t == 0 && allZero(o.prev.X) {
 		// From the formal model's x_{·,·,0} = 0 every complement-capacity
@@ -132,22 +170,24 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	if o.warmDuals != nil {
 		sopts.WarmDuals = o.warmDuals
 	}
-	res, err := alm.Solve(prob, sopts)
+	res, err := alm.Solve(&o.prob, sopts)
 	if err != nil {
 		return model.Alloc{}, fmt.Errorf("core: slot %d: %w", t, err)
 	}
 
-	x := model.Alloc{I: in.I, J: in.J, X: res.X}
-	repair(in, x)
+	// res.X and res.Duals alias the workspace; copy the decision out
+	// before the next Step overwrites them.
+	x := model.Alloc{I: in.I, J: in.J, X: append([]float64(nil), res.X...)}
+	repair(in, x, o.userTot)
 
-	o.prev = x.Clone()
+	copy(o.prevBuf, x.X)
 	o.warmDuals = res.Duals
 	o.schedule = append(o.schedule, x)
-	theta := make([]float64, in.J)
+	theta := o.thetaBuf[t*in.J : (t+1)*in.J]
 	copy(theta, res.Duals[:in.J])
-	rho := make([]float64, in.I)
+	rho := o.rhoBuf[t*in.I : (t+1)*in.I]
 	copy(rho, res.Duals[in.J:in.J+in.I])
-	nu := make([]float64, in.I)
+	nu := o.nuBuf[t*in.I : (t+1)*in.I]
 	copy(nu, res.Duals[in.J+in.I:in.J+2*in.I])
 	o.thetas = append(o.thetas, theta)
 	o.rhos = append(o.rhos, rho)
@@ -259,13 +299,15 @@ type p2Objective struct {
 
 var _ fista.Objective = (*p2Objective)(nil)
 
-func newP2Objective(in *model.Instance, t int, prev model.Alloc, eps1, eps2 float64) *p2Objective {
+// newP2ObjectiveConst computes the slot-independent constants of P2's
+// objective — the entropy scale factors η_i and τ_ij of the paper — once
+// per (instance, ε) pair. bind attaches the per-slot state.
+func newP2ObjectiveConst(in *model.Instance, eps1, eps2 float64) *p2Objective {
 	o := &p2Objective{
 		nI:      in.I,
 		nJ:      in.J,
-		coef:    in.StaticCoeff(t),
-		prev:    prev.X,
-		prevTot: prev.CloudTotals(),
+		coef:    make([]float64, in.I*in.J),
+		prevTot: make([]float64, in.I),
 		rcFac:   make([]float64, in.I),
 		mgFac:   make([]float64, in.I*in.J),
 		eps1:    eps1,
@@ -281,6 +323,20 @@ func newP2Objective(in *model.Instance, t int, prev model.Alloc, eps1, eps2 floa
 			o.mgFac[i*in.J+j] = b / tau
 		}
 	}
+	return o
+}
+
+// bind points the objective at slot t's prices and the previous decision,
+// reusing the cached buffers.
+func (o *p2Objective) bind(in *model.Instance, t int, prev model.Alloc) {
+	in.StaticCoeffInto(t, o.coef)
+	o.prev = prev.X
+	prev.CloudTotalsInto(o.prevTot)
+}
+
+func newP2Objective(in *model.Instance, t int, prev model.Alloc, eps1, eps2 float64) *p2Objective {
+	o := newP2ObjectiveConst(in, eps1, eps2)
+	o.bind(in, t, prev)
 	return o
 }
 
@@ -318,14 +374,15 @@ func (o *p2Objective) Eval(x, grad []float64) float64 {
 // repair clips negative round-off and tops up any marginally under-served
 // user on its attached cloud so that downstream feasibility checks with
 // tight tolerances pass. The adjustments are on the order of the solver
-// tolerance (≤1e-6 relative) and do not affect measured costs.
-func repair(in *model.Instance, x model.Alloc) {
+// tolerance (≤1e-6 relative) and do not affect measured costs. served is
+// a length-J scratch buffer.
+func repair(in *model.Instance, x model.Alloc, served []float64) {
 	for k, v := range x.X {
 		if v < 0 {
 			x.X[k] = 0
 		}
 	}
-	served := x.UserTotals()
+	x.UserTotalsInto(served)
 	for j := 0; j < in.J; j++ {
 		if deficit := in.Workload[j] - served[j]; deficit > 0 {
 			// Scale the user's column up proportionally; fall back to the

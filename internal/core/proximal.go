@@ -71,39 +71,50 @@ func (p *Proximal) Solve(in *model.Instance) (model.Schedule, error) {
 		cons = append(cons, alm.Constraint{Idx: idx, Coeffs: coef, RHS: -in.Capacity[i]})
 	}
 
+	// The quadratic factors are slot-independent; build the objective once
+	// and rebind the per-slot state, sharing one solver workspace across
+	// the horizon so repeated slots allocate nothing in the hot path.
+	obj := &proximalObjective{
+		nI:      in.I,
+		nJ:      in.J,
+		coef:    make([]float64, in.I*in.J),
+		prevTot: make([]float64, in.I),
+		rcFac:   make([]float64, in.I),
+		mgFac:   make([]float64, in.I),
+		tot:     make([]float64, in.I),
+	}
+	for i := 0; i < in.I; i++ {
+		obj.rcFac[i] = in.WRc * in.ReconfPrice[i] / sigma
+		obj.mgFac[i] = in.WMg * (in.MigOutPrice[i] + in.MigInPrice[i]) / sigma
+	}
+	lower := make([]float64, in.I*in.J)
+	served := make([]float64, in.J)
+	var ws alm.Workspace
+
 	prev := in.InitialAlloc()
 	sched := make(model.Schedule, 0, in.T)
 	var warmDuals []float64
 	for t := 0; t < in.T; t++ {
-		obj := &proximalObjective{
-			nI:      in.I,
-			nJ:      in.J,
-			coef:    in.StaticCoeff(t),
-			prev:    prev.X,
-			prevTot: prev.CloudTotals(),
-			rcFac:   make([]float64, in.I),
-			mgFac:   make([]float64, in.I),
-			tot:     make([]float64, in.I),
-		}
-		for i := 0; i < in.I; i++ {
-			obj.rcFac[i] = in.WRc * in.ReconfPrice[i] / sigma
-			obj.mgFac[i] = in.WMg * (in.MigOutPrice[i] + in.MigInPrice[i]) / sigma
-		}
+		in.StaticCoeffInto(t, obj.coef)
+		obj.prev = prev.X
+		prev.CloudTotalsInto(obj.prevTot)
 		opts := sopts
+		opts.Workspace = &ws
 		opts.WarmX = prev.X
 		opts.WarmDuals = warmDuals
 		res, err := alm.Solve(&alm.Problem{
 			Obj: obj, N: in.I * in.J,
-			Lower: make([]float64, in.I*in.J),
+			Lower: lower,
 			Cons:  cons,
 		}, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: proximal slot %d: %w", t, err)
 		}
-		x := model.Alloc{I: in.I, J: in.J, X: res.X}
-		repair(in, x)
+		// res.X aliases the workspace; copy before retaining.
+		x := model.Alloc{I: in.I, J: in.J, X: append([]float64(nil), res.X...)}
+		repair(in, x, served)
 		sched = append(sched, x)
-		prev = x.Clone()
+		prev = x
 		warmDuals = res.Duals
 	}
 	return sched, nil

@@ -5,6 +5,7 @@ import (
 
 	"edgealloc/internal/baseline"
 	"edgealloc/internal/core"
+	"edgealloc/internal/model"
 	"edgealloc/internal/scenario"
 	"edgealloc/internal/sim"
 	"edgealloc/internal/solver/alm"
@@ -29,37 +30,40 @@ func AblationLookahead(p Params) (*Result, error) {
 			"window 1 ≈ online-greedy; window T = offline-opt; online-approx uses no prediction"),
 	}
 	windows := []int{1, 2, 3, 5}
+	var specs []rowSpec
 	for _, w := range windows {
 		if w > p.Horizon {
 			continue
 		}
-		var samples []map[string]float64
-		for rep := 0; rep < p.Reps; rep++ {
-			in, err := buildRome(p.scenarioConfig(p.Seed + int64(rep)))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation lookahead: %w", err)
-			}
-			algs := []sim.Algorithm{
-				&baseline.Lookahead{Window: w,
-					MuSchedule: []float64{0.05, 2e-3},
-					Solver: alm.Options{MaxOuter: 25, InnerIters: 600,
-						FeasTol: 1e-6, DualTol: 1e-3, ObjTol: 1e-7, Penalty: 4}},
-				approxAlg{},
-			}
-			ratios, err := ratioCase(in, algs)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation lookahead w=%d: %w", w, err)
-			}
-			samples = append(samples, ratios)
-		}
-		cells := aggregate(samples)
+		w := w
+		specs = append(specs, rowSpec{
+			Label: fmt.Sprintf("window=%d", w),
+			Build: func(rep int) (*model.Instance, error) {
+				return buildRome(p.scenarioConfig(p.Seed + int64(rep)))
+			},
+			Algs: func() []sim.Algorithm {
+				return []sim.Algorithm{
+					&baseline.Lookahead{Window: w,
+						MuSchedule: []float64{0.05, 2e-3},
+						Solver: alm.Options{MaxOuter: 25, InnerIters: 600,
+							FeasTol: 1e-6, DualTol: 1e-3, ObjTol: 1e-7, Penalty: 4}},
+					approxAlg{},
+				}
+			},
+		})
+	}
+	rows, err := runRows(p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation lookahead: %w", err)
+	}
+	for _, row := range rows {
 		// Normalize the lookahead cell name across windows so rows align.
-		for i := range cells {
-			if cells[i].Name != "online-approx" {
-				cells[i].Name = "lookahead"
+		for i := range row.Cells {
+			if row.Cells[i].Name != "online-approx" {
+				row.Cells[i].Name = "lookahead"
 			}
 		}
-		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("window=%d", w), Cells: cells})
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
@@ -75,30 +79,30 @@ func AblationRegularizer(p Params) (*Result, error) {
 		Notes: trimNotes(p,
 			"the entropy form admits the Theorem-2 analysis; the quadratic form is the smoothed-OCO alternative"),
 	}
+	var specs []rowSpec
 	for _, mu := range []float64{0.1, 1, 10} {
-		var samples []map[string]float64
-		for rep := 0; rep < p.Reps; rep++ {
-			cfg := p.scenarioConfig(p.Seed + int64(rep))
-			cfg.Mu = mu
-			in, err := buildRome(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation regularizer: %w", err)
-			}
-			ratios, err := ratioCase(in, []sim.Algorithm{
-				approxAlg{},
-				&core.Proximal{Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
-					FeasTol: 1e-7, DualTol: 1e-3, ObjTol: 1e-8, Penalty: 2}},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation regularizer mu=%g: %w", mu, err)
-			}
-			samples = append(samples, ratios)
-		}
-		res.Rows = append(res.Rows, Row{
+		mu := mu
+		specs = append(specs, rowSpec{
 			Label: fmt.Sprintf("mu=%g", mu),
-			Cells: aggregate(samples),
+			Build: func(rep int) (*model.Instance, error) {
+				cfg := p.scenarioConfig(p.Seed + int64(rep))
+				cfg.Mu = mu
+				return buildRome(cfg)
+			},
+			Algs: func() []sim.Algorithm {
+				return []sim.Algorithm{
+					approxAlg{},
+					&core.Proximal{Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
+						FeasTol: 1e-7, DualTol: 1e-3, ObjTol: 1e-8, Penalty: 2}},
+				}
+			},
 		})
 	}
+	rows, err := runRows(p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation regularizer: %w", err)
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -114,16 +118,21 @@ func AblationAdversarial() (*Result, error) {
 			"ratios are exact: offline denominators come from the LP solver",
 		},
 	}
-	for _, spike := range []float64{1.5, 2, 3, 5, 8} {
+	// The spike values are independent probes with exact LP denominators;
+	// run them on the pool (one task per spike — the instances are tiny).
+	spikes := []float64{1.5, 2, 3, 5, 8}
+	rows := make([]Row, len(spikes))
+	err := forEachIndex(Params{}.workers(), len(spikes), func(k int) error {
+		spike := spikes[k]
 		in, err := scenario.PingPong(scenario.AdversarialConfig{
 			Horizon: 12, Spike: spike, Dynamic: spike - 1,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation adversarial: %w", err)
+			return fmt.Errorf("experiments: ablation adversarial: %w", err)
 		}
 		_, opt, err := baseline.ExactOffline(in)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation adversarial: %w", err)
+			return fmt.Errorf("experiments: ablation adversarial: %w", err)
 		}
 		ratioOf := func(alg sim.Algorithm) (float64, error) {
 			run, err := sim.Execute(in, alg)
@@ -134,22 +143,27 @@ func AblationAdversarial() (*Result, error) {
 		}
 		ap, err := ratioOf(approxAlg{})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation adversarial spike=%g: %w", spike, err)
+			return fmt.Errorf("experiments: ablation adversarial spike=%g: %w", spike, err)
 		}
 		gr, err := ratioOf(fastGreedy())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation adversarial spike=%g: %w", spike, err)
+			return fmt.Errorf("experiments: ablation adversarial spike=%g: %w", spike, err)
 		}
 		one := func(v float64) sim.Stats { return sim.Summarize([]float64{v}) }
-		res.Rows = append(res.Rows, Row{
+		rows[k] = Row{
 			Label: fmt.Sprintf("spike=%.1f", spike),
 			Cells: []Cell{
 				{Name: "online-approx", Stats: one(ap)},
 				{Name: "online-greedy", Stats: one(gr)},
 				{Name: "theorem-2-bound", Stats: one(core.RatioBound(in, 1, 1))},
 			},
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -38,6 +38,11 @@ type Params struct {
 	// Seed is the base random seed; case c, repetition r runs with seed
 	// Seed + 1000·c + r.
 	Seed int64
+	// Workers bounds the number of concurrent (case, rep, algorithm) runs
+	// (0 = one worker per available CPU). Results are bit-identical for
+	// every worker count: each unit of work derives its RNG seed from
+	// (Seed, case, rep) alone and owns all of its state.
+	Workers int
 	// Scenario overrides the default §V-A price/weight knobs (fields at
 	// their zero values keep the scenario defaults).
 	Scenario scenario.Config
@@ -189,24 +194,6 @@ func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 
 var _ sim.Algorithm = approxAlg{}
 
-// ratioCase runs every algorithm on one instance and returns total costs
-// normalized by the offline optimum, keyed by algorithm name.
-func ratioCase(in *model.Instance, algs []sim.Algorithm) (map[string]float64, error) {
-	off, err := sim.Execute(in, fastOffline())
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]float64{}
-	for _, alg := range algs {
-		run, err := sim.Execute(in, alg)
-		if err != nil {
-			return nil, err
-		}
-		out[alg.Name()] = run.Total / off.Total
-	}
-	return out, nil
-}
-
 // aggregate converts per-rep ratio maps into sorted cells.
 func aggregate(samples []map[string]float64) []Cell {
 	byName := map[string][]float64{}
@@ -241,28 +228,22 @@ func holisticAndAtomistic() []sim.Algorithm {
 
 func caseLabel(c int) string { return fmt.Sprintf("case-%d (%dpm)", c+1, 3+c) }
 
-// runCases is the shared Fig-2/Fig-3 engine: for every test case and
-// repetition, build the scenario and collect competitive ratios.
-func runCases(p Params, build func(scenario.Config) (*model.Instance, error),
-	algs []sim.Algorithm) ([]Row, error) {
-	rows := make([]Row, 0, p.Cases)
+// caseRows builds the shared Fig-2/Fig-3 grid: one row per test case,
+// seeded Seed + 1000·c + rep, all executed by the pooled engine.
+func caseRows(p Params, build func(scenario.Config) (*model.Instance, error),
+	algs func() []sim.Algorithm) []rowSpec {
+	rows := make([]rowSpec, p.Cases)
 	for c := 0; c < p.Cases; c++ {
-		var samples []map[string]float64
-		for rep := 0; rep < p.Reps; rep++ {
-			seed := p.Seed + int64(1000*c+rep)
-			in, err := build(p.scenarioConfig(seed))
-			if err != nil {
-				return nil, err
-			}
-			ratios, err := ratioCase(in, algs)
-			if err != nil {
-				return nil, err
-			}
-			samples = append(samples, ratios)
+		c := c
+		rows[c] = rowSpec{
+			Label: caseLabel(c),
+			Build: func(rep int) (*model.Instance, error) {
+				return build(p.scenarioConfig(p.Seed + int64(1000*c+rep)))
+			},
+			Algs: algs,
 		}
-		rows = append(rows, Row{Label: caseLabel(c), Cells: aggregate(samples)})
 	}
-	return rows, nil
+	return rows
 }
 
 func buildRome(cfg scenario.Config) (*model.Instance, error) {
@@ -334,7 +315,7 @@ func Fig2(p Params) (*Result, error) {
 	if p.Scenario.WorkloadDist == "" {
 		p.Scenario.WorkloadDist = "power"
 	}
-	rows, err := runCases(p, buildRome, holisticAndAtomistic())
+	rows, err := runRows(p, caseRows(p, buildRome, holisticAndAtomistic))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig2: %w", err)
 	}
@@ -360,18 +341,22 @@ func Fig3(p Params) (*Result, error) {
 		Notes: trimNotes(p,
 			"paper shape: online-approx near-optimal, up to 70% better than greedy"),
 	}
+	// Both distributions go into a single grid so the pool drains one flat
+	// task list instead of hitting a barrier between the two sweeps.
+	var specs []rowSpec
 	for _, dist := range []string{"uniform", "normal"} {
 		pd := p
 		pd.Scenario.WorkloadDist = dist
-		rows, err := runCases(pd, buildRome, holisticAndAtomistic())
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig3 %s: %w", dist, err)
-		}
-		for _, r := range rows {
-			r.Label = dist + " " + r.Label
-			res.Rows = append(res.Rows, r)
+		for _, rs := range caseRows(pd, buildRome, holisticAndAtomistic) {
+			rs.Label = dist + " " + rs.Label
+			specs = append(specs, rs)
 		}
 	}
+	rows, err := runRows(p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3: %w", err)
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -385,46 +370,40 @@ func Fig4(p Params) (*Result, error) {
 		Notes: trimNotes(p,
 			"paper shape: slight dip then stable in ε; ≈optimal for small μ, stable for large μ"),
 	}
+	// One flat grid over both sweeps; every (row, rep, algorithm) unit is
+	// an independent pool task.
+	var specs []rowSpec
 	epsValues := []float64{1e-3, 1e-2, 1e-1, 1, 1e1, 1e2, 1e3}
 	for _, eps := range epsValues {
-		var samples []map[string]float64
-		for rep := 0; rep < p.Reps; rep++ {
-			in, err := buildRome(p.scenarioConfig(p.Seed + int64(rep)))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4: %w", err)
-			}
-			ratios, err := ratioCase(in, []sim.Algorithm{approxAlg{eps1: eps, eps2: eps}})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 eps=%g: %w", eps, err)
-			}
-			samples = append(samples, ratios)
-		}
-		res.Rows = append(res.Rows, Row{
+		eps := eps
+		specs = append(specs, rowSpec{
 			Label: fmt.Sprintf("eps=%.0e", eps),
-			Cells: aggregate(samples),
+			Build: func(rep int) (*model.Instance, error) {
+				return buildRome(p.scenarioConfig(p.Seed + int64(rep)))
+			},
+			Algs: func() []sim.Algorithm {
+				return []sim.Algorithm{approxAlg{eps1: eps, eps2: eps}}
+			},
 		})
 	}
 	muValues := []float64{1e-3, 1e-2, 1e-1, 1, 1e1, 1e2, 1e3}
 	for _, mu := range muValues {
-		var samples []map[string]float64
-		for rep := 0; rep < p.Reps; rep++ {
-			cfg := p.scenarioConfig(p.Seed + int64(rep))
-			cfg.Mu = mu
-			in, err := buildRome(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4: %w", err)
-			}
-			ratios, err := ratioCase(in, []sim.Algorithm{approxAlg{}})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 mu=%g: %w", mu, err)
-			}
-			samples = append(samples, ratios)
-		}
-		res.Rows = append(res.Rows, Row{
+		mu := mu
+		specs = append(specs, rowSpec{
 			Label: fmt.Sprintf("mu=%.0e", mu),
-			Cells: aggregate(samples),
+			Build: func(rep int) (*model.Instance, error) {
+				cfg := p.scenarioConfig(p.Seed + int64(rep))
+				cfg.Mu = mu
+				return buildRome(cfg)
+			},
+			Algs: func() []sim.Algorithm { return []sim.Algorithm{approxAlg{}} },
 		})
 	}
+	rows, err := runRows(p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4: %w", err)
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -439,26 +418,26 @@ func Fig5(p Params) (*Result, error) {
 		Notes: trimNotes(p,
 			"paper: users 40..1000, approx ≈1.1 flat, greedy up to 1.8"),
 	}
+	specs := make([]rowSpec, 0, len(userCounts))
 	for _, users := range userCounts {
+		users := users
 		pu := p
 		pu.Users = users
-		var samples []map[string]float64
-		for rep := 0; rep < p.Reps; rep++ {
-			in, err := buildRandomWalk(pu.scenarioConfig(p.Seed + int64(100*users+rep)))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig5: %w", err)
-			}
-			ratios, err := ratioCase(in, []sim.Algorithm{fastGreedy(), approxAlg{}})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig5 users=%d: %w", users, err)
-			}
-			samples = append(samples, ratios)
-		}
-		res.Rows = append(res.Rows, Row{
+		specs = append(specs, rowSpec{
 			Label: fmt.Sprintf("users=%d", users),
-			Cells: aggregate(samples),
+			Build: func(rep int) (*model.Instance, error) {
+				return buildRandomWalk(pu.scenarioConfig(p.Seed + int64(100*users+rep)))
+			},
+			Algs: func() []sim.Algorithm {
+				return []sim.Algorithm{fastGreedy(), approxAlg{}}
+			},
 		})
 	}
+	rows, err := runRows(p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig5: %w", err)
+	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkersDeterminism is the regression guard for the parallel engine:
+// the reproduced rows must be bit-identical whether the grid runs on one
+// worker (the original sequential order) or many.
+func TestWorkersDeterminism(t *testing.T) {
+	base := Params{Users: 4, Horizon: 3, Reps: 2, Cases: 2, Seed: 91}
+
+	seq := base
+	seq.Workers = 1
+	want, err := ByName("2", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Workers = 4
+	got, err := ByName("2", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(want.Rows, got.Rows) {
+		t.Errorf("Workers:1 and Workers:4 disagree\nseq: %+v\npar: %+v", want.Rows, got.Rows)
+	}
+}
+
+func TestForEachIndexCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var hits [37]atomic.Int32
+		if err := forEachIndex(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachIndexPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := forEachIndex(4, 100, func(i int) error {
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestWorkersDefaultsToCPUs(t *testing.T) {
+	if got := (Params{}).workers(); got < 1 {
+		t.Errorf("default workers = %d, want ≥ 1", got)
+	}
+	if got := (Params{Workers: 7}).workers(); got != 7 {
+		t.Errorf("explicit workers = %d, want 7", got)
+	}
+}

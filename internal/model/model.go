@@ -208,27 +208,42 @@ func (a Alloc) Clone() Alloc {
 // CloudTotals returns x_i = Σ_j x_{i,j} for every cloud.
 func (a Alloc) CloudTotals() []float64 {
 	tot := make([]float64, a.I)
+	a.CloudTotalsInto(tot)
+	return tot
+}
+
+// CloudTotalsInto writes Σ_j x_{i,j} for every cloud into dst, which must
+// have length I. It exists so per-slot hot paths can reuse one buffer.
+func (a Alloc) CloudTotalsInto(dst []float64) {
 	for i := 0; i < a.I; i++ {
 		s := 0.0
 		row := a.X[i*a.J : (i+1)*a.J]
 		for _, v := range row {
 			s += v
 		}
-		tot[i] = s
+		dst[i] = s
 	}
-	return tot
 }
 
 // UserTotals returns Σ_i x_{i,j} for every user.
 func (a Alloc) UserTotals() []float64 {
 	tot := make([]float64, a.J)
+	a.UserTotalsInto(tot)
+	return tot
+}
+
+// UserTotalsInto writes Σ_i x_{i,j} for every user into dst, which must
+// have length J. It exists so per-slot hot paths can reuse one buffer.
+func (a Alloc) UserTotalsInto(dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < a.I; i++ {
 		row := a.X[i*a.J : (i+1)*a.J]
 		for j, v := range row {
-			tot[j] += v
+			dst[j] += v
 		}
 	}
-	return tot
 }
 
 // Schedule is an allocation for every slot of the horizon.
@@ -417,11 +432,18 @@ func (in *Instance) Window(t0, n int, init Alloc) (*Instance, error) {
 // per-slot subproblems and the linear part of P2.
 func (in *Instance) StaticCoeff(t int) []float64 {
 	c := make([]float64, in.I*in.J)
+	in.StaticCoeffInto(t, c)
+	return c
+}
+
+// StaticCoeffInto writes the slot-t static coefficients into dst, which
+// must have length I·J. It exists so per-slot hot paths can reuse one
+// buffer across a horizon.
+func (in *Instance) StaticCoeffInto(t int, dst []float64) {
 	for i := 0; i < in.I; i++ {
 		for j := 0; j < in.J; j++ {
-			c[i*in.J+j] = in.WOp*in.OpPrice[t][i] +
+			dst[i*in.J+j] = in.WOp*in.OpPrice[t][i] +
 				in.WSq*in.InterDelay[in.Attach[t][j]][i]/in.Workload[j]
 		}
 	}
-	return c
 }

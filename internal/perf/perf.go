@@ -1,0 +1,210 @@
+// Package perf defines the solver microbenchmark kernels shared by the
+// `go test -bench` benchmarks (perf_test.go) and the machine-readable
+// dump behind `edgebench -benchjson` (BENCH_solver.json). Keeping the
+// kernels in one place guarantees the numbers recorded in EXPERIMENTS.md
+// and the JSON trajectory come from the exact code the benchmarks run.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"edgealloc/internal/core"
+	"edgealloc/internal/model"
+	"edgealloc/internal/scenario"
+	"edgealloc/internal/solver/alm"
+	"edgealloc/internal/solver/fista"
+)
+
+// fistaDim is the variable count of the FISTA kernel — the I·J of a
+// 15-cloud, 40-user slot problem.
+const fistaDim = 600
+
+// quadObjective is a strongly convex separable quadratic
+// Σ c_k (x_k − a_k)², the cheapest representative objective: with
+// near-free Evals, per-call allocation overhead dominates the
+// measurement, which is exactly what these kernels track.
+type quadObjective struct {
+	c, a []float64
+}
+
+func (q *quadObjective) Eval(x, grad []float64) float64 {
+	f := 0.0
+	for k := range x {
+		d := x[k] - q.a[k]
+		f += q.c[k] * d * d
+		if grad != nil {
+			grad[k] = 2 * q.c[k] * d
+		}
+	}
+	return f
+}
+
+var _ fista.Objective = (*quadObjective)(nil)
+
+func newQuad(n int) (*quadObjective, []float64) {
+	q := &quadObjective{c: make([]float64, n), a: make([]float64, n)}
+	for k := 0; k < n; k++ {
+		// Deterministic, irregular coefficients; no RNG needed.
+		q.c[k] = 1 + float64(k%7)/3
+		q.a[k] = float64((k*2689+13)%100) / 25
+	}
+	return q, make([]float64, n)
+}
+
+// FISTASolve is the BenchmarkFISTASolve kernel: repeated box-constrained
+// minimizations of a fixed quadratic reusing one workspace.
+func FISTASolve(b *testing.B) {
+	q, lower := newQuad(fistaDim)
+	x0 := make([]float64, fistaDim)
+	var ws fista.Workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res, err := fista.Minimize(q, x0, fista.Options{
+			MaxIters: 200, Lower: lower, Workspace: &ws,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.F < 0 {
+			b.Fatal("negative quadratic")
+		}
+	}
+}
+
+// ALMSolve is the BenchmarkALMSolve kernel: repeated constrained solves
+// of a quadratic under demand-style GE rows, reusing one workspace and
+// warm-starting from the previous solution like the per-slot loops do.
+func ALMSolve(b *testing.B) {
+	const n, rows = fistaDim, 40
+	q, lower := newQuad(n)
+	cons := make([]alm.Constraint, rows)
+	per := n / rows
+	for r := 0; r < rows; r++ {
+		idx := make([]int, per)
+		coef := make([]float64, per)
+		for k := 0; k < per; k++ {
+			idx[k] = r*per + k
+			coef[k] = 1
+		}
+		cons[r] = alm.Constraint{Idx: idx, Coeffs: coef, RHS: float64(per) * 2.5}
+	}
+	prob := &alm.Problem{Obj: q, N: n, Lower: lower, Cons: cons}
+	opts := alm.Options{MaxOuter: 20, InnerIters: 300, FeasTol: 1e-6}
+	var ws alm.Workspace
+	opts.Workspace = &ws
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := alm.Solve(prob, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.WarmX = res.X
+		opts.WarmDuals = res.Duals
+	}
+}
+
+// stepInstance builds the fixed Rome instance behind OnlineApproxStep.
+func stepInstance(b testing.TB) *model.Instance {
+	in, _, err := scenario.Rome(scenario.Config{Users: 20, Horizon: 8, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// OnlineApproxStep is the BenchmarkOnlineApproxStep kernel: repeated
+// per-slot Step calls of the paper's algorithm — the steady-state hot
+// path of an online deployment. Slot 0 (which builds the per-instance
+// caches and solves a transportation problem for its warm start) runs
+// off the clock, as does the per-horizon re-creation of the algorithm
+// object, so per-op numbers measure warm Step itself.
+func OnlineApproxStep(b *testing.B) {
+	in := stepInstance(b)
+	opts := core.Options{Solver: alm.Options{MaxOuter: 30, InnerIters: 400,
+		FeasTol: 1e-6, DualTol: 1e-3, ObjTol: 1e-7, Penalty: 2}}
+	prime := func() *core.OnlineApprox {
+		alg := core.NewOnlineApprox(in, opts)
+		if _, err := alg.Step(0); err != nil {
+			b.Fatal(err)
+		}
+		return alg
+	}
+	alg := prime()
+	t := 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if t == in.T {
+			b.StopTimer()
+			alg = prime()
+			t = 1
+			b.StartTimer()
+		}
+		if _, err := alg.Step(t); err != nil {
+			b.Fatal(err)
+		}
+		t++
+	}
+}
+
+// Spec names one benchmark kernel.
+type Spec struct {
+	Name  string
+	Bench func(*testing.B)
+}
+
+// Specs lists the solver microbenchmarks in reporting order.
+func Specs() []Spec {
+	return []Spec{
+		{"FISTASolve", FISTASolve},
+		{"ALMSolve", ALMSolve},
+		{"OnlineApproxStep", OnlineApproxStep},
+	}
+}
+
+// Record is one benchmark measurement in the machine-readable dump.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// RunAll executes every kernel through testing.Benchmark and collects
+// the per-op statistics.
+func RunAll() []Record {
+	specs := Specs()
+	recs := make([]Record, 0, len(specs))
+	for _, s := range specs {
+		r := testing.Benchmark(s.Bench)
+		recs = append(recs, Record{
+			Name:        s.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return recs
+}
+
+// WriteJSON renders records as indented JSON, one object per kernel.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// WriteTable renders records as a human-readable summary.
+func WriteTable(w io.Writer, recs []Record) {
+	fmt.Fprintf(w, "%-20s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range recs {
+		fmt.Fprintf(w, "%-20s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}

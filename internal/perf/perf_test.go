@@ -1,0 +1,48 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The solver microbenchmarks of the performance trajectory. Run with
+//
+//	go test -bench=. -benchmem ./internal/perf/
+//
+// or dump machine-readable numbers with `edgebench -benchjson`.
+
+func BenchmarkFISTASolve(b *testing.B)       { FISTASolve(b) }
+func BenchmarkALMSolve(b *testing.B)         { ALMSolve(b) }
+func BenchmarkOnlineApproxStep(b *testing.B) { OnlineApproxStep(b) }
+
+func TestSpecsAreNamedAndRunnable(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 3 {
+		t.Fatalf("Specs() = %d kernels, want 3", len(specs))
+	}
+	for _, s := range specs {
+		if s.Name == "" || s.Bench == nil {
+			t.Errorf("spec %+v incomplete", s)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	recs := []Record{{Name: "X", Iterations: 3, NsPerOp: 1.5, AllocsPerOp: 2, BytesPerOp: 64}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != recs[0] {
+		t.Errorf("round trip = %+v, want %+v", back, recs)
+	}
+	if !strings.Contains(buf.String(), "allocs_per_op") {
+		t.Errorf("JSON missing allocs_per_op key: %s", buf.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"edgealloc/internal/model"
 )
@@ -88,6 +89,49 @@ func TestExecuteRejectsWrongLengthSchedule(t *testing.T) {
 	short := feasibleSchedule(in)[:1]
 	if _, err := Execute(in, &fixedAlg{name: "short", sched: short}); err == nil {
 		t.Fatal("Execute accepted a short schedule")
+	}
+}
+
+// sleepAlg pauses in Solve before returning a canned schedule, so the
+// solve phase has a known minimum duration.
+type sleepAlg struct {
+	d     time.Duration
+	sched model.Schedule
+}
+
+func (s *sleepAlg) Name() string { return "sleeper" }
+
+func (s *sleepAlg) Solve(*model.Instance) (model.Schedule, error) {
+	time.Sleep(s.d)
+	return s.sched, nil
+}
+
+// TestElapsedMeasuresSolveOnly pins down the timing contract: Elapsed
+// covers exactly the algorithm's Solve call, and the harness's
+// feasibility verification plus cost evaluation land in EvalElapsed —
+// not in Elapsed — so per-algorithm timings stay meaningful when many
+// runs execute concurrently.
+func TestElapsedMeasuresSolveOnly(t *testing.T) {
+	in := model.ToyExampleA()
+	const pause = 20 * time.Millisecond
+	run, err := Execute(in, &sleepAlg{d: pause, sched: feasibleSchedule(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", run.Elapsed)
+	}
+	if run.Elapsed < pause {
+		t.Errorf("Elapsed = %v, want ≥ the %v spent in Solve", run.Elapsed, pause)
+	}
+	// The toy evaluation takes microseconds; if Solve's pause leaked into
+	// the evaluation timer the two phases were not measured disjointly.
+	if run.EvalElapsed >= pause {
+		t.Errorf("EvalElapsed = %v absorbed the Solve pause %v — phases not disjoint",
+			run.EvalElapsed, pause)
+	}
+	if run.EvalElapsed < 0 {
+		t.Errorf("EvalElapsed = %v, want ≥ 0", run.EvalElapsed)
 	}
 }
 

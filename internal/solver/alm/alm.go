@@ -65,6 +65,38 @@ type Options struct {
 	WarmX []float64
 	// WarmDuals optionally seeds the multipliers (copied, not retained).
 	WarmDuals []float64
+	// Workspace optionally supplies reusable scratch buffers so repeated
+	// solves of same-shaped problems (the per-slot P2 programs of a
+	// horizon, the continuation stages of the smoothed baselines) allocate
+	// nothing per call. When set, Result.X and Result.Duals alias
+	// workspace memory and are only valid until the next Solve with the
+	// same workspace; callers that retain them must copy. WarmX/WarmDuals
+	// may alias the previous Result's slices. A workspace must not be
+	// shared between concurrent solves.
+	Workspace *Workspace
+}
+
+// Workspace holds the primal iterate, multiplier, and slack buffers of a
+// solve plus the inner FISTA workspace. The zero value is ready to use.
+type Workspace struct {
+	x, y, slack []float64
+	inner       fista.Workspace
+	lag         lagrangian
+	res         Result
+}
+
+// ensure sizes the buffers for n variables and m constraint rows.
+func (ws *Workspace) ensure(n, m int) {
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+	}
+	ws.x = ws.x[:n]
+	if cap(ws.y) < m {
+		ws.y = make([]float64, m)
+		ws.slack = make([]float64, m)
+	}
+	ws.y = ws.y[:m]
+	ws.slack = ws.slack[:m]
 }
 
 // Result reports the outcome of a solve.
@@ -141,11 +173,22 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		dualTol = 1e-6
 	}
 
-	x := make([]float64, p.N)
-	if opts.WarmX != nil {
-		copy(x, opts.WarmX)
+	ws := opts.Workspace
+	if ws == nil {
+		// A zero-value local workspace reproduces the allocate-per-call
+		// behaviour for one-shot callers; the result then owns its slices.
+		ws = &Workspace{}
 	}
-	y := make([]float64, len(p.Cons))
+	ws.ensure(p.N, len(p.Cons))
+	x := ws.x
+	if opts.WarmX != nil {
+		copy(x, opts.WarmX) // no-op when WarmX aliases the workspace
+	} else {
+		for k := range x {
+			x[k] = 0
+		}
+	}
+	y := ws.y
 	if opts.WarmDuals != nil {
 		copy(y, opts.WarmDuals)
 		for k := range y {
@@ -153,12 +196,18 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				y[k] = 0
 			}
 		}
+	} else {
+		for k := range y {
+			y[k] = 0
+		}
 	}
 
-	res := &Result{}
+	res := &ws.res
+	*res = Result{}
 	if len(p.Cons) == 0 {
 		inner, err := fista.Minimize(p.Obj, x, fista.Options{
 			MaxIters: innerIters, Tol: objTol, Lower: p.Lower, Upper: p.Upper,
+			Workspace: &ws.inner,
 		})
 		if err != nil {
 			return nil, err
@@ -169,8 +218,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	slack := make([]float64, len(p.Cons)) // s_k = b_k − A_k·x
-	lag := &lagrangian{p: p, y: y, rho: rho}
+	slack := ws.slack // s_k = b_k − A_k·x
+	ws.lag = lagrangian{p: p, y: y, rho: rho}
+	lag := &ws.lag
 
 	prevObj := math.Inf(1)
 	prevViol := math.Inf(1)
@@ -180,6 +230,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		lag.rho = rho
 		inner, err := fista.Minimize(lag, x, fista.Options{
 			MaxIters: innerIters, Tol: innerTol, Lower: p.Lower, Upper: p.Upper,
+			Workspace: &ws.inner,
 		})
 		if err != nil {
 			return nil, err

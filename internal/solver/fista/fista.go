@@ -45,6 +45,34 @@ type Options struct {
 	// Lower and Upper are optional elementwise bounds. A nil slice means
 	// unbounded on that side. Most callers pass Lower = zeros for x ≥ 0.
 	Lower, Upper []float64
+	// Workspace optionally supplies reusable scratch buffers so repeated
+	// solves of same-sized problems allocate nothing per call. When set,
+	// Result.X (and the Result itself) alias workspace memory and are
+	// only valid until the next Minimize call with the same workspace.
+	// A workspace must not be shared between concurrent solves.
+	Workspace *Workspace
+}
+
+// Workspace holds the iterate, momentum, trial, and gradient buffers of a
+// minimization run. The zero value is ready to use; buffers grow on
+// demand and are reused across calls.
+type Workspace struct {
+	x, y, xNew, grad []float64
+	res              Result
+}
+
+// ensure sizes every buffer to n, reusing capacity where possible.
+func (ws *Workspace) ensure(n int) {
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+		ws.y = make([]float64, n)
+		ws.xNew = make([]float64, n)
+		ws.grad = make([]float64, n)
+	}
+	ws.x = ws.x[:n]
+	ws.y = ws.y[:n]
+	ws.xNew = ws.xNew[:n]
+	ws.grad = ws.grad[:n]
 }
 
 // Result reports the outcome of a minimization.
@@ -72,7 +100,9 @@ const (
 )
 
 // Minimize runs FISTA from x0 and returns the best point found. x0 is not
-// modified. The error is non-nil only for malformed input.
+// modified (it may alias Options.Workspace memory from a previous call;
+// the copy into the workspace handles that overlap). The error is non-nil
+// only for malformed input.
 func Minimize(obj Objective, x0 []float64, opts Options) (*Result, error) {
 	n := len(x0)
 	if opts.Lower != nil && len(opts.Lower) != n {
@@ -105,13 +135,23 @@ func Minimize(obj Objective, x0 []float64, opts Options) (*Result, error) {
 		}
 	}
 
-	x := append([]float64(nil), x0...)
+	ws := opts.Workspace
+	if ws == nil {
+		// Per-call buffers: the result may outlive the call, so x must be
+		// freshly owned. A zero-value local workspace gives exactly that.
+		ws = &Workspace{}
+	}
+	ws.ensure(n)
+	x := ws.x
+	copy(x, x0) // no-op when x0 already aliases ws.x (warm restart)
 	clip(x)
-	y := append([]float64(nil), x...)
-	xNew := make([]float64, n)
-	grad := make([]float64, n)
+	y := ws.y
+	copy(y, x)
+	xNew := ws.xNew
+	grad := ws.grad
 
-	res := &Result{}
+	res := &ws.res
+	*res = Result{}
 	fx := obj.Eval(x, nil)
 	res.FuncEvals++
 	tMom := 1.0
