@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench benchjson
+.PHONY: check fmt vet build test race bench benchjson bench-diff
 
 check: fmt vet build test race
 
@@ -35,3 +35,9 @@ bench:
 # Machine-readable benchmark dump for the perf trajectory.
 benchjson:
 	$(GO) run ./cmd/edgebench -benchjson BENCH_solver.json
+
+# Regression gate: re-run the kernels and fail if any ns/op grew more
+# than 25% over the committed trajectory. Run before refreshing
+# BENCH_solver.json after performance-sensitive changes.
+bench-diff:
+	$(GO) run ./cmd/edgebench -benchdiff BENCH_solver.json

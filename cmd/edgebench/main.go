@@ -10,6 +10,8 @@
 //	edgebench -ablation lookahead -users 20 -horizon 12 -reps 2
 //	edgebench -workers 4           # bound the experiment worker pool
 //	edgebench -benchjson BENCH_solver.json   # dump solver microbenchmarks
+//	edgebench -benchdiff BENCH_solver.json   # regression gate vs a dump
+//	edgebench -cpuprofile cpu.prof ...       # profile any of the above
 package main
 
 import (
@@ -20,9 +22,17 @@ import (
 
 	"edgealloc/internal/experiments"
 	"edgealloc/internal/perf"
+	"edgealloc/internal/prof"
 )
 
+// regressionThreshold is the ns/op growth beyond which -benchdiff fails.
+const regressionThreshold = 0.25
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		ablation = flag.String("ablation", "all",
 			"study to run: lookahead, regularizer, adversarial, or 'all'")
@@ -33,24 +43,64 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent (row, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
 		benchjson = flag.String("benchjson", "",
 			"run the solver microbenchmarks and write machine-readable JSON to this file (e.g. BENCH_solver.json), skipping the ablations")
+		benchdiff = flag.String("benchdiff", "",
+			"run the solver microbenchmarks and compare against this baseline JSON, exiting nonzero if any kernel regressed more than 25% ns/op")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
+		return 1
+	}
+	defer stopProf()
+
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
+		return 1
+	}
+
+	if *benchjson != "" && *benchdiff != "" {
+		return fail(fmt.Errorf("-benchjson and -benchdiff are mutually exclusive"))
+	}
 
 	if *benchjson != "" {
 		recs := perf.RunAll()
 		perf.WriteTable(os.Stdout, recs)
 		f, err := os.Create(*benchjson)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		if err := perf.WriteJSON(f, recs); err != nil {
-			fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Printf("wrote %s\n", *benchjson)
-		return
+		return 0
+	}
+
+	if *benchdiff != "" {
+		f, err := os.Open(*benchdiff)
+		if err != nil {
+			return fail(err)
+		}
+		base, err := perf.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		rows := perf.Diff(base, perf.RunAll())
+		perf.WriteDiffTable(os.Stdout, rows)
+		if regs := perf.Regressions(rows, regressionThreshold); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "edgebench: %d kernel(s) regressed more than %.0f%% ns/op vs %s\n",
+				len(regs), 100*regressionThreshold, *benchdiff)
+			return 1
+		}
+		fmt.Printf("no kernel regressed more than %.0f%% ns/op vs %s\n",
+			100*regressionThreshold, *benchdiff)
+		return 0
 	}
 
 	p := experiments.Params{
@@ -68,10 +118,10 @@ func main() {
 		start := time.Now()
 		res, err := experiments.AblationByName(s, p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "edgebench: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		res.WriteTable(os.Stdout)
 		fmt.Printf("   (%s in %v)\n\n", res.Figure, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -8,6 +8,7 @@
 //	edgesim -fig 2                      # Figure 2 at the default scale
 //	edgesim -fig all -users 25 -reps 3  # everything, bigger
 //	edgesim -fig 4 -horizon 16 -mu 1    # parameter-impact figure
+//	edgesim -fig 2 -cpuprofile cpu.prof # profile the run
 //
 // The defaults are laptop-scale; the paper's full scale is
 // -users 300 -horizon 60 -reps 5 (budget hours of CPU for the offline
@@ -21,26 +22,40 @@ import (
 	"time"
 
 	"edgealloc/internal/experiments"
+	"edgealloc/internal/prof"
 	"edgealloc/internal/scenario"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		fig     = flag.String("fig", "all", "figure to reproduce: 1..5 or 'all'")
-		users   = flag.Int("users", 15, "number of mobile users J")
-		horizon = flag.Int("horizon", 12, "number of time slots T")
-		reps    = flag.Int("reps", 2, "independent repetitions per case")
-		cases   = flag.Int("cases", 3, "test cases (hours) for figures 2-3")
-		seed    = flag.Int64("seed", 20140212, "base random seed")
-		workers = flag.Int("workers", 0, "concurrent (case, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
-		dist    = flag.String("dist", "", "workload distribution override (power|uniform|normal)")
-		mu      = flag.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
-		mig     = flag.Float64("migscale", 0, "migration price scale (0 = default 1)")
-		reconf  = flag.Float64("reconf", 0, "mean reconfiguration price (0 = default 1)")
-		sqPrice = flag.Float64("sqprice", 0, "service-quality price per km (0 = default)")
-		vol     = flag.Float64("vol", 0, "op-price volatility (std/base, 0 = default 0.5)")
+		fig        = flag.String("fig", "all", "figure to reproduce: 1..5 or 'all'")
+		users      = flag.Int("users", 15, "number of mobile users J")
+		horizon    = flag.Int("horizon", 12, "number of time slots T")
+		reps       = flag.Int("reps", 2, "independent repetitions per case")
+		cases      = flag.Int("cases", 3, "test cases (hours) for figures 2-3")
+		seed       = flag.Int64("seed", 20140212, "base random seed")
+		workers    = flag.Int("workers", 0, "concurrent (case, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
+		dist       = flag.String("dist", "", "workload distribution override (power|uniform|normal)")
+		mu         = flag.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
+		mig        = flag.Float64("migscale", 0, "migration price scale (0 = default 1)")
+		reconf     = flag.Float64("reconf", 0, "mean reconfiguration price (0 = default 1)")
+		sqPrice    = flag.Float64("sqprice", 0, "service-quality price per km (0 = default)")
+		vol        = flag.Float64("vol", 0, "op-price volatility (std/base, 0 = default 0.5)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgesim: %v\n", err)
+		return 1
+	}
+	defer stopProf()
 
 	p := experiments.Params{
 		Users:   *users,
@@ -69,7 +84,7 @@ func main() {
 		res, err := experiments.ByName(f, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgesim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		res.WriteTable(os.Stdout)
 		fmt.Printf("   (%s in %v)\n\n", res.Figure, time.Since(start).Round(time.Millisecond))
@@ -80,4 +95,5 @@ func main() {
 	if len(claimSources) > 0 {
 		fmt.Printf("== headline claims ==\n   %s\n", experiments.SummarizeClaims(claimSources...))
 	}
+	return 0
 }

@@ -49,7 +49,7 @@ func (g *Greedy) Solve(in *model.Instance) (model.Schedule, error) {
 	// The price factors are slot-independent; build the objective once and
 	// rebind per slot, sharing one solver workspace across the horizon so
 	// repeated slots allocate nothing in the hot path.
-	cons := slotConstraints(in)
+	cons := slotGroups(in, 1)
 	obj := &greedySlotObjective{
 		nI:      in.I,
 		nJ:      in.J,
@@ -88,10 +88,10 @@ func (g *Greedy) Solve(in *model.Instance) (model.Schedule, error) {
 			opts.WarmDuals = warmDuals
 			var err error
 			res, err = alm.Solve(&alm.Problem{
-				Obj:   obj,
-				N:     in.I * in.J,
-				Lower: lower,
-				Cons:  cons,
+				Obj:    obj,
+				N:      in.I * in.J,
+				Lower:  lower,
+				Groups: cons,
 			}, opts)
 			if err != nil {
 				return nil, fmt.Errorf("baseline: greedy slot %d: %w", t, err)
@@ -108,9 +108,43 @@ func (g *Greedy) Solve(in *model.Instance) (model.Schedule, error) {
 	return sched, nil
 }
 
-// slotConstraints builds the per-slot rows shared by greedy and the
-// offline program: demand Σ_i x_ij ≥ λ_j and capacity Σ_j x_ij ≤ C_i
-// (expressed as −Σ_j x_ij ≥ −C_i for the GE-only ALM interface).
+// slotGroups builds the structured per-slot rows shared by greedy, the
+// proximal ablation, and the offline program — demand Σ_i x_ij ≥ λ_j and
+// capacity Σ_j x_ij ≤ C_i (as −Σ_j x_ij ≥ −C_i for the GE-only ALM
+// interface) — repeated over `blocks` consecutive slot blocks. Row order
+// within a block is demand then capacity, matching slotConstraints.
+func slotGroups(in *model.Instance, blocks int) *alm.Groups {
+	rows := make([]alm.GroupRow, 0, blocks*(in.J+in.I))
+	for b := 0; b < blocks; b++ {
+		for j := 0; j < in.J; j++ {
+			rows = append(rows, alm.GroupRow{
+				Block: b, Kind: alm.GroupUserSum, Index: j, RHS: in.Workload[j]})
+		}
+		for i := 0; i < in.I; i++ {
+			rows = append(rows, alm.GroupRow{
+				Block: b, Kind: alm.GroupCloudSumNeg, Index: i, RHS: -in.Capacity[i]})
+		}
+	}
+	return &alm.Groups{I: in.I, J: in.J, Blocks: blocks, Rows: rows}
+}
+
+// refreshSlotGroupsRHS rewrites the right-hand sides of rows built by
+// slotGroups for the given instance (same shape assumed).
+func refreshSlotGroupsRHS(g *alm.Groups, in *model.Instance) {
+	per := in.J + in.I
+	for b := 0; b < g.Blocks; b++ {
+		base := b * per
+		for j := 0; j < in.J; j++ {
+			g.Rows[base+j].RHS = in.Workload[j]
+		}
+		for i := 0; i < in.I; i++ {
+			g.Rows[base+in.J+i].RHS = -in.Capacity[i]
+		}
+	}
+}
+
+// slotConstraints is the generic sparse-row reference form of one slot
+// block of slotGroups, kept for the structured-vs-dense comparisons.
 func slotConstraints(in *model.Instance) []alm.Constraint {
 	cons := make([]alm.Constraint, 0, in.J+in.I)
 	for j := 0; j < in.J; j++ {

@@ -42,6 +42,11 @@ func (l *Lookahead) Solve(in *model.Instance) (model.Schedule, error) {
 	if window <= 0 {
 		window = 3
 	}
+	// One Offline across all slots: its per-shape cache means the
+	// windowed program's constraint rows, objective buffers, and solver
+	// workspace are built once per distinct window length (the full
+	// window plus the shrinking tails at the end of the horizon) instead
+	// of once per slot.
 	off := &Offline{Solver: l.Solver, MuSchedule: l.MuSchedule}
 	prev := in.InitialAlloc()
 	sched := make(model.Schedule, 0, in.T)

@@ -16,16 +16,73 @@ import (
 // the single program over all T·I·J variables is solved by the augmented
 // Lagrangian; on tiny instances ExactOffline (exact.go) gives the LP
 // optimum for cross-validation.
+//
+// An Offline caches its constraint rows, objective buffers, and solver
+// workspace per instance shape and reuses them across Solve calls —
+// the receding-horizon Lookahead solves one same-shaped window per slot,
+// which previously rebuilt every row slice each time. Instance-dependent
+// values (right-hand sides, prices, the initial allocation) are refreshed
+// on every call. An Offline must not be shared between goroutines.
 type Offline struct {
 	// Solver overrides the per-stage ALM options (zero = defaults).
 	Solver alm.Options
 	// MuSchedule overrides the smoothing continuation (nil =
 	// smooth.Schedule(0.25, 1e-3, 0.1)).
 	MuSchedule []float64
+
+	states map[shapeKey]*offlineState
+}
+
+// shapeKey identifies a cached solver state by problem dimensions.
+type shapeKey struct{ i, j, t int }
+
+// offlineState is the reusable per-shape machinery of one offline solve.
+type offlineState struct {
+	obj     *offlineObjective
+	groups  *alm.Groups
+	lower   []float64
+	warm    []float64
+	coefBuf []float64 // backing array for obj.coefs
+	ws      alm.Workspace
 }
 
 // Name identifies the algorithm in experiment output.
 func (o *Offline) Name() string { return "offline-opt" }
+
+// state returns the cached machinery for in's shape, building it on
+// first use and refreshing every instance-dependent value.
+func (o *Offline) state(in *model.Instance) *offlineState {
+	key := shapeKey{in.I, in.J, in.T}
+	st := o.states[key]
+	if st == nil {
+		nIJ := in.I * in.J
+		st = &offlineState{
+			obj: &offlineObjective{
+				nIJ:   nIJ,
+				coefs: make([][]float64, in.T),
+				tot:   make([]float64, in.I*(in.T+1)),
+			},
+			groups:  slotGroups(in, in.T),
+			lower:   make([]float64, in.T*nIJ),
+			warm:    make([]float64, in.T*nIJ),
+			coefBuf: make([]float64, in.T*nIJ),
+		}
+		for t := 0; t < in.T; t++ {
+			st.obj.coefs[t] = st.coefBuf[t*nIJ : (t+1)*nIJ]
+		}
+		if o.states == nil {
+			o.states = make(map[shapeKey]*offlineState)
+		}
+		o.states[key] = st
+	}
+	st.obj.in = in
+	st.obj.init = in.InitialAlloc()
+	for t := 0; t < in.T; t++ {
+		in.StaticCoeffInto(t, st.obj.coefs[t])
+	}
+	refreshSlotGroupsRHS(st.groups, in)
+	return st
+}
 
 // Solve minimizes the full-horizon smoothed P0 objective.
 func (o *Offline) Solve(in *model.Instance) (model.Schedule, error) {
@@ -48,33 +105,11 @@ func (o *Offline) Solve(in *model.Instance) (model.Schedule, error) {
 	}
 
 	nIJ := in.I * in.J
-	obj := &offlineObjective{
-		in:    in,
-		nIJ:   nIJ,
-		init:  in.InitialAlloc(),
-		coefs: make([][]float64, in.T),
-		tot:   make([]float64, in.I*(in.T+1)),
-	}
-	for t := 0; t < in.T; t++ {
-		obj.coefs[t] = in.StaticCoeff(t)
-	}
-
-	// Constraints: the per-slot rows shifted to each slot's variable block.
-	base := slotConstraints(in)
-	cons := make([]alm.Constraint, 0, in.T*len(base))
-	for t := 0; t < in.T; t++ {
-		for _, c := range base {
-			idx := make([]int, len(c.Idx))
-			for k, v := range c.Idx {
-				idx[k] = t*nIJ + v
-			}
-			cons = append(cons, alm.Constraint{Idx: idx, Coeffs: c.Coeffs, RHS: c.RHS})
-		}
-	}
+	st := o.state(in)
 
 	// Warm start: every slot at the stat-opt transportation solution,
 	// which is feasible and usually close in shape.
-	warm := make([]float64, in.T*nIJ)
+	warm := st.warm
 	at := &Atomistic{Kind: StatOpt}
 	for t := 0; t < in.T; t++ {
 		x, err := solveSlotTransport(in, at.slotCost(in, t))
@@ -86,22 +121,20 @@ func (o *Offline) Solve(in *model.Instance) (model.Schedule, error) {
 
 	// One workspace shared across the continuation stages: each stage
 	// warm-starts from the previous one's (aliased) iterate and duals.
-	lower := make([]float64, in.T*nIJ)
-	var ws alm.Workspace
 	var res *alm.Result
 	var warmDuals []float64
 	for _, mu := range mus {
-		obj.mu = mu
+		st.obj.mu = mu
 		opts := sopts
-		opts.Workspace = &ws
+		opts.Workspace = &st.ws
 		opts.WarmX = warm
 		opts.WarmDuals = warmDuals
 		var err error
 		res, err = alm.Solve(&alm.Problem{
-			Obj:   obj,
-			N:     in.T * nIJ,
-			Lower: lower,
-			Cons:  cons,
+			Obj:    st.obj,
+			N:      in.T * nIJ,
+			Lower:  st.lower,
+			Groups: st.groups,
 		}, opts)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: offline: %w", err)
@@ -146,8 +179,7 @@ func (o *offlineObjective) Eval(x, grad []float64) float64 {
 	}
 
 	// Cloud totals for init and every slot.
-	initTot := o.init.CloudTotals()
-	copy(o.tot[:nI], initTot)
+	o.init.CloudTotalsInto(o.tot[:nI])
 	for t := 0; t < in.T; t++ {
 		for i := 0; i < nI; i++ {
 			s := 0.0

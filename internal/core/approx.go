@@ -27,6 +27,7 @@ import (
 	"edgealloc/internal/model"
 	"edgealloc/internal/solver/alm"
 	"edgealloc/internal/solver/fista"
+	"edgealloc/internal/solver/par"
 	"edgealloc/internal/solver/transport"
 )
 
@@ -36,8 +37,17 @@ type Options struct {
 	// parameters (both default 1; Fig 4 sweeps them jointly).
 	Epsilon1, Epsilon2 float64
 	// Solver passes tolerances to the per-slot ALM solve. Zero values use
-	// the package defaults tuned for the experiments.
+	// the package defaults tuned for the experiments. Solver.Workers also
+	// bounds the intra-evaluation parallelism of P2's objective; results
+	// are byte-identical for any value.
 	Solver alm.Options
+	// DenseRows switches P2's constraints to the generic sparse-row
+	// reference path (p2Constraints) instead of the structured group-sum
+	// kernel (p2Groups). The dense complement rows cost O(I²·J) per
+	// Lagrangian evaluation versus O(I·J) structured; the option exists
+	// for the structured-vs-dense property tests and the before/after
+	// scaling benchmarks.
+	DenseRows bool
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +102,7 @@ type OnlineApprox struct {
 	// repair scratch, and thetaBuf/rhoBuf/nuBuf back the per-slot dual
 	// records, so steady-state Step allocates only the decision it returns.
 	cons     []alm.Constraint
+	groups   *alm.Groups
 	lower    []float64
 	obj      *p2Objective
 	prob     alm.Problem
@@ -130,7 +141,12 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	in := o.inst
 	if o.obj == nil {
 		o.obj = newP2ObjectiveConst(in, o.opts.Epsilon1, o.opts.Epsilon2)
-		o.cons = p2Constraints(in, t)
+		o.obj.workers = o.opts.Solver.Workers
+		if o.opts.DenseRows {
+			o.cons = p2Constraints(in, t)
+		} else {
+			o.groups = p2Groups(in)
+		}
 		o.lower = make([]float64, in.I*in.J)
 		o.prevBuf = make([]float64, in.I*in.J)
 		copy(o.prevBuf, o.prev.X)
@@ -147,10 +163,11 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	o.obj.bind(in, t, o.prev)
 
 	o.prob = alm.Problem{
-		Obj:   o.obj,
-		N:     in.I * in.J,
-		Lower: o.lower,
-		Cons:  o.cons,
+		Obj:    o.obj,
+		N:      in.I * in.J,
+		Lower:  o.lower,
+		Cons:   o.cons,
+		Groups: o.groups,
 	}
 	sopts := o.opts.Solver
 	sopts.Workspace = &o.ws
@@ -283,7 +300,45 @@ func p2Constraints(in *model.Instance, t int) []alm.Constraint {
 	return cons
 }
 
-// p2Objective evaluates P2's objective and gradient.
+// p2Groups builds the same rows as p2Constraints in structured group-sum
+// form: demand rows are per-user column sums, the complement rows are the
+// grid total minus one cloud's row sum, and the capacity rows are negated
+// cloud row sums. Row order (demand, complement, capacity) matches
+// p2Constraints exactly, so the dual layout consumed by the certificate
+// (θ' then ρ' then ν') is unchanged.
+func p2Groups(in *model.Instance) *alm.Groups {
+	nI, nJ := in.I, in.J
+	rows := make([]alm.GroupRow, 0, nJ+2*nI)
+	for j := 0; j < nJ; j++ {
+		rows = append(rows, alm.GroupRow{Kind: alm.GroupUserSum, Index: j, RHS: in.Workload[j]})
+	}
+	lambda := in.TotalWorkload()
+	for i := 0; i < nI; i++ {
+		rhs := lambda - in.Capacity[i]
+		if rhs < 0 {
+			rhs = 0
+		}
+		rows = append(rows, alm.GroupRow{Kind: alm.GroupComplement, Index: i, RHS: rhs})
+	}
+	for i := 0; i < nI; i++ {
+		rows = append(rows, alm.GroupRow{Kind: alm.GroupCloudSumNeg, Index: i, RHS: -in.Capacity[i]})
+	}
+	return &alm.Groups{I: nI, J: nJ, Blocks: 1, Rows: rows}
+}
+
+// evalParGrain is the minimum number of variables per worker before
+// p2Objective.Eval goes parallel; tests shrink it to exercise the
+// parallel path on small instances. The objective costs several
+// transcendental calls per variable (log for the entropy terms, exp
+// inside the softplus), so a few thousand variables already amortize a
+// goroutine handoff.
+var evalParGrain = 4096
+
+// p2Objective evaluates P2's objective and gradient. Rows (clouds) are
+// independent, so Eval blocks them over a bounded worker pool when
+// workers > 1 and the instance is large enough; per-row partial values
+// land in rowF and reduce in row order, keeping the result byte-identical
+// for any worker count.
 type p2Objective struct {
 	nI, nJ  int
 	coef    []float64 // weighted static coefficients (I×J)
@@ -293,8 +348,21 @@ type p2Objective struct {
 	mgFac   []float64 // wMg·b_i/τ_ij per (i,j)
 	eps1    float64
 	eps2    float64
+	workers int
 
-	tot []float64 // scratch: X_i
+	rowF []float64 // per-cloud partial objective values
+
+	// lastNum/lastLg2 memoize the migration-term log per variable: the
+	// solver evaluates the objective thousands of times per slot, and late
+	// in a solve most entries are static across evaluations (converged, or
+	// clipped at the zero bound while x'_{ij} ≠ 0), so their log argument
+	// repeats exactly. The cache stores the argument and the math.Log
+	// result it produced, making reuse bitwise identical to recomputation;
+	// bind invalidates it (the denominator changes with x'). Each entry is
+	// only touched by the evaluation of its own cloud row, so the parallel
+	// path stays race-free and deterministic.
+	lastNum []float64
+	lastLg2 []float64
 }
 
 var _ fista.Objective = (*p2Objective)(nil)
@@ -312,7 +380,9 @@ func newP2ObjectiveConst(in *model.Instance, eps1, eps2 float64) *p2Objective {
 		mgFac:   make([]float64, in.I*in.J),
 		eps1:    eps1,
 		eps2:    eps2,
-		tot:     make([]float64, in.I),
+		rowF:    make([]float64, in.I),
+		lastNum: make([]float64, in.I*in.J),
+		lastLg2: make([]float64, in.I*in.J),
 	}
 	for i := 0; i < in.I; i++ {
 		eta := math.Log1p(in.Capacity[i] / eps1)
@@ -332,6 +402,9 @@ func (o *p2Objective) bind(in *model.Instance, t int, prev model.Alloc) {
 	in.StaticCoeffInto(t, o.coef)
 	o.prev = prev.X
 	prev.CloudTotalsInto(o.prevTot)
+	for k := range o.lastNum {
+		o.lastNum[k] = math.NaN() // never equal: invalidate the log cache
+	}
 }
 
 func newP2Objective(in *model.Instance, t int, prev model.Alloc, eps1, eps2 float64) *p2Objective {
@@ -342,31 +415,99 @@ func newP2Objective(in *model.Instance, t int, prev model.Alloc, eps1, eps2 floa
 
 // Eval implements fista.Objective.
 func (o *p2Objective) Eval(x, grad []float64) float64 {
-	f := 0.0
-	for i := 0; i < o.nI; i++ {
-		s := 0.0
-		row := x[i*o.nJ : (i+1)*o.nJ]
-		for _, v := range row {
-			s += v
-		}
-		o.tot[i] = s
+	if w := par.Bound(o.workers, o.nI*o.nJ, evalParGrain); w <= 1 {
+		// Closure-free serial path: Eval runs thousands of times per
+		// Step, and a closure handed to par.Ranges escapes (it may be
+		// launched on goroutines), costing one heap allocation per call.
+		o.evalRows(x, grad, 0, o.nI)
+	} else {
+		par.Ranges(w, o.nI, func(lo, hi int) { o.evalRows(x, grad, lo, hi) })
 	}
-	for i := 0; i < o.nI; i++ {
-		// Reconfiguration regularizer on the cloud total.
-		lg := math.Log((o.tot[i] + o.eps1) / (o.prevTot[i] + o.eps1))
-		f += o.rcFac[i] * ((o.tot[i]+o.eps1)*lg - o.tot[i])
-		base := i * o.nJ
-		for j := 0; j < o.nJ; j++ {
-			k := base + j
-			v := x[k]
-			f += o.coef[k] * v
-			// Migration regularizer per (cloud, user).
-			lg2 := math.Log((v + o.eps2) / (o.prev[k] + o.eps2))
-			f += o.mgFac[k] * ((v+o.eps2)*lg2 - v)
-			if grad != nil {
-				grad[k] = o.coef[k] + o.rcFac[i]*lg + o.mgFac[k]*lg2
+	f := 0.0
+	for _, v := range o.rowF {
+		f += v
+	}
+	return f
+}
+
+// evalRows evaluates cloud rows [lo, hi) into rowF.
+func (o *p2Objective) evalRows(x, grad []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		o.rowF[i] = o.evalRow(i, x, grad)
+	}
+}
+
+// evalRow computes cloud i's slice of the objective and gradient: the
+// reconfiguration regularizer on the cloud total plus the static and
+// migration terms of the row's (i, j) pairs. Rows touch disjoint state.
+// The element loop is duplicated for the gradient and value-only cases
+// (FISTA's backtracking trials are value-only) so neither pays the other's
+// per-element branch, with the row slices hoisted for bounds-check
+// elimination.
+func (o *p2Objective) evalRow(i int, x, grad []float64) float64 {
+	base := i * o.nJ
+	row := x[base : base+o.nJ]
+	coef := o.coef[base : base+o.nJ]
+	prev := o.prev[base : base+o.nJ]
+	mgFac := o.mgFac[base : base+o.nJ]
+	eps2 := o.eps2
+	// Migration regularizer per (cloud, user). Most variables sit where
+	// the iterate equals the previous decision (typically both at the zero
+	// bound: a user is served by few clouds), making the ratio exactly 1
+	// and the log exactly 0 — skipping the division and math.Log there is
+	// bitwise identical and removes the transcendental cost from the
+	// (i, j) pairs that carry no flow.
+	lastNum := o.lastNum[base : base+o.nJ]
+	lastLg2 := o.lastLg2[base : base+o.nJ]
+	if grad == nil {
+		// Value-only evaluation (a FISTA backtracking trial): the cloud
+		// total feeds only the reconfiguration term, so it is accumulated
+		// alongside the element terms in a single pass and the
+		// reconfiguration regularizer is added at the end.
+		s, f := 0.0, 0.0
+		for j, v := range row {
+			s += v
+			f += coef[j] * v
+			num, den := v+eps2, prev[j]+eps2
+			var lg2 float64
+			if num != den {
+				if num == lastNum[j] {
+					lg2 = lastLg2[j]
+				} else {
+					lg2 = math.Log(num / den)
+					lastNum[j] = num
+					lastLg2[j] = lg2
+				}
+			}
+			f += mgFac[j] * (num*lg2 - v)
+		}
+		lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
+		return f + o.rcFac[i]*((s+o.eps1)*lg-s)
+	}
+	s := 0.0
+	for _, v := range row {
+		s += v
+	}
+	// Reconfiguration regularizer on the cloud total.
+	lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
+	f := o.rcFac[i] * ((s+o.eps1)*lg - s)
+	g := grad[base : base+o.nJ]
+	rc := o.rcFac[i] * lg
+	for j, v := range row {
+		f += coef[j] * v
+		num, den := v+eps2, prev[j]+eps2
+		var lg2 float64
+		if num != den {
+			if num == lastNum[j] {
+				lg2 = lastLg2[j]
+			} else {
+				lg2 = math.Log(num / den)
+				lastNum[j] = num
+				lastLg2[j] = lg2
 			}
 		}
+		f += mgFac[j] * (num*lg2 - v)
+		g[j] = coef[j] + rc + mgFac[j]*lg2
 	}
 	return f
 }

@@ -18,16 +18,81 @@ import (
 // paper builds on (Jiao et al. [8], Lin et al. [7]). Entropy regularizers
 // admit the multiplicative-update analysis behind Theorem 2; quadratic
 // ones do not, and the ablation measures what that buys empirically.
+//
+// A Proximal caches its constraint rows, objective buffers, and solver
+// workspace across Solve calls (rebinding the per-instance values each
+// time), so it must not be shared between goroutines.
 type Proximal struct {
 	// Sigma is the movement scale σ (default 1); larger values penalize
 	// movement less.
 	Sigma float64
 	// Solver overrides the per-slot ALM options (zero = defaults).
 	Solver alm.Options
+
+	// Cached per-shape state, lazily (re)built when the instance shape
+	// changes and refreshed (RHS, prices) on every call.
+	obj    *proximalObjective
+	groups *alm.Groups
+	lower  []float64
+	served []float64
+	ws     alm.Workspace
 }
 
 // Name identifies the algorithm in experiment output.
 func (p *Proximal) Name() string { return "online-proximal" }
+
+// prepare sizes (or resizes) the cached state for in's shape and
+// refreshes every instance-dependent value: constraint right-hand sides
+// and the quadratic movement factors.
+func (p *Proximal) prepare(in *model.Instance, sigma float64) {
+	if p.obj == nil || p.obj.nI != in.I || p.obj.nJ != in.J {
+		p.obj = &proximalObjective{
+			nI:      in.I,
+			nJ:      in.J,
+			coef:    make([]float64, in.I*in.J),
+			prevTot: make([]float64, in.I),
+			rcFac:   make([]float64, in.I),
+			mgFac:   make([]float64, in.I),
+			tot:     make([]float64, in.I),
+		}
+		p.groups = slotDemandCapacityGroups(in)
+		p.lower = make([]float64, in.I*in.J)
+		p.served = make([]float64, in.J)
+	}
+	// Demand and explicit capacity rows (the complement rows exist for
+	// the entropy analysis; the proximal ablation has no such analysis).
+	// Refresh RHS in place: a same-shaped instance may still carry
+	// different workloads and capacities.
+	refreshSlotDemandCapacityRHS(p.groups, in)
+	for i := 0; i < in.I; i++ {
+		p.obj.rcFac[i] = in.WRc * in.ReconfPrice[i] / sigma
+		p.obj.mgFac[i] = in.WMg * (in.MigOutPrice[i] + in.MigInPrice[i]) / sigma
+	}
+}
+
+// slotDemandCapacityGroups builds the structured demand rows Σ_i x_ij ≥
+// λ_j followed by capacity rows −Σ_j x_ij ≥ −C_i for one slot block.
+func slotDemandCapacityGroups(in *model.Instance) *alm.Groups {
+	rows := make([]alm.GroupRow, 0, in.J+in.I)
+	for j := 0; j < in.J; j++ {
+		rows = append(rows, alm.GroupRow{Kind: alm.GroupUserSum, Index: j, RHS: in.Workload[j]})
+	}
+	for i := 0; i < in.I; i++ {
+		rows = append(rows, alm.GroupRow{Kind: alm.GroupCloudSumNeg, Index: i, RHS: -in.Capacity[i]})
+	}
+	return &alm.Groups{I: in.I, J: in.J, Blocks: 1, Rows: rows}
+}
+
+// refreshSlotDemandCapacityRHS rewrites the right-hand sides of rows
+// built by slotDemandCapacityGroups for the given instance.
+func refreshSlotDemandCapacityRHS(g *alm.Groups, in *model.Instance) {
+	for j := 0; j < in.J; j++ {
+		g.Rows[j].RHS = in.Workload[j]
+	}
+	for i := 0; i < in.I; i++ {
+		g.Rows[in.J+i].RHS = -in.Capacity[i]
+	}
+}
 
 // Solve runs the proximal policy over the instance.
 func (p *Proximal) Solve(in *model.Instance) (model.Schedule, error) {
@@ -49,47 +114,8 @@ func (p *Proximal) Solve(in *model.Instance) (model.Schedule, error) {
 		sopts.Penalty = 2
 	}
 
-	// Demand and explicit capacity rows (the complement rows exist for
-	// the entropy analysis; the proximal ablation has no such analysis).
-	cons := make([]alm.Constraint, 0, in.J+in.I)
-	for j := 0; j < in.J; j++ {
-		idx := make([]int, in.I)
-		coef := make([]float64, in.I)
-		for i := 0; i < in.I; i++ {
-			idx[i] = i*in.J + j
-			coef[i] = 1
-		}
-		cons = append(cons, alm.Constraint{Idx: idx, Coeffs: coef, RHS: in.Workload[j]})
-	}
-	for i := 0; i < in.I; i++ {
-		idx := make([]int, in.J)
-		coef := make([]float64, in.J)
-		for j := 0; j < in.J; j++ {
-			idx[j] = i*in.J + j
-			coef[j] = -1
-		}
-		cons = append(cons, alm.Constraint{Idx: idx, Coeffs: coef, RHS: -in.Capacity[i]})
-	}
-
-	// The quadratic factors are slot-independent; build the objective once
-	// and rebind the per-slot state, sharing one solver workspace across
-	// the horizon so repeated slots allocate nothing in the hot path.
-	obj := &proximalObjective{
-		nI:      in.I,
-		nJ:      in.J,
-		coef:    make([]float64, in.I*in.J),
-		prevTot: make([]float64, in.I),
-		rcFac:   make([]float64, in.I),
-		mgFac:   make([]float64, in.I),
-		tot:     make([]float64, in.I),
-	}
-	for i := 0; i < in.I; i++ {
-		obj.rcFac[i] = in.WRc * in.ReconfPrice[i] / sigma
-		obj.mgFac[i] = in.WMg * (in.MigOutPrice[i] + in.MigInPrice[i]) / sigma
-	}
-	lower := make([]float64, in.I*in.J)
-	served := make([]float64, in.J)
-	var ws alm.Workspace
+	p.prepare(in, sigma)
+	obj := p.obj
 
 	prev := in.InitialAlloc()
 	sched := make(model.Schedule, 0, in.T)
@@ -99,20 +125,20 @@ func (p *Proximal) Solve(in *model.Instance) (model.Schedule, error) {
 		obj.prev = prev.X
 		prev.CloudTotalsInto(obj.prevTot)
 		opts := sopts
-		opts.Workspace = &ws
+		opts.Workspace = &p.ws
 		opts.WarmX = prev.X
 		opts.WarmDuals = warmDuals
 		res, err := alm.Solve(&alm.Problem{
 			Obj: obj, N: in.I * in.J,
-			Lower: lower,
-			Cons:  cons,
+			Lower:  p.lower,
+			Groups: p.groups,
 		}, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: proximal slot %d: %w", t, err)
 		}
 		// res.X aliases the workspace; copy before retaining.
 		x := model.Alloc{I: in.I, J: in.J, X: append([]float64(nil), res.X...)}
-		repair(in, x, served)
+		repair(in, x, p.served)
 		sched = append(sched, x)
 		prev = x
 		warmDuals = res.Duals

@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadJSON parses a benchmark dump previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("perf: parse benchmark JSON: %w", err)
+	}
+	return recs, nil
+}
+
+// DiffRow compares one kernel's current measurement against a baseline.
+type DiffRow struct {
+	Name    string
+	BaseNs  float64 // 0 when the kernel is new (absent from the baseline)
+	CurNs   float64
+	Delta   float64 // (cur-base)/base; 0 when BaseNs is 0
+	HasBase bool
+}
+
+// Diff matches current records against baseline records by name, in
+// current order. Kernels absent from the baseline appear with HasBase
+// false; baseline kernels no longer measured are dropped (renames and
+// retired kernels should not fail a regression gate).
+func Diff(base, cur []Record) []DiffRow {
+	byName := make(map[string]Record, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	rows := make([]DiffRow, 0, len(cur))
+	for _, r := range cur {
+		row := DiffRow{Name: r.Name, CurNs: r.NsPerOp}
+		if b, ok := byName[r.Name]; ok && b.NsPerOp > 0 {
+			row.BaseNs = b.NsPerOp
+			row.Delta = (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+			row.HasBase = true
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Regressions returns the rows whose ns/op grew by more than threshold
+// (0.25 = +25%) relative to the baseline.
+func Regressions(rows []DiffRow, threshold float64) []DiffRow {
+	var out []DiffRow
+	for _, r := range rows {
+		if r.HasBase && r.Delta > threshold {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteDiffTable renders the comparison as a human-readable table.
+func WriteDiffTable(w io.Writer, rows []DiffRow) {
+	fmt.Fprintf(w, "%-32s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, r := range rows {
+		if !r.HasBase {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %9s\n", r.Name, "-", r.CurNs, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+8.1f%%\n", r.Name, r.BaseNs, r.CurNs, 100*r.Delta)
+	}
+}

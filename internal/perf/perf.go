@@ -158,13 +158,15 @@ type Spec struct {
 	Bench func(*testing.B)
 }
 
-// Specs lists the solver microbenchmarks in reporting order.
+// Specs lists the solver microbenchmarks in reporting order: the base
+// kernels followed by the scaling tier (scale.go).
 func Specs() []Spec {
-	return []Spec{
+	specs := []Spec{
 		{"FISTASolve", FISTASolve},
 		{"ALMSolve", ALMSolve},
 		{"OnlineApproxStep", OnlineApproxStep},
 	}
+	return append(specs, ScaleSpecs()...)
 }
 
 // Record is one benchmark measurement in the machine-readable dump.

@@ -17,15 +17,96 @@ func BenchmarkFISTASolve(b *testing.B)       { FISTASolve(b) }
 func BenchmarkALMSolve(b *testing.B)         { ALMSolve(b) }
 func BenchmarkOnlineApproxStep(b *testing.B) { OnlineApproxStep(b) }
 
+// BenchmarkStepScale exposes the scaling tier to `go test -bench`; use
+// -bench 'StepScale/I=25,J=1000' to pick one grid point.
+func BenchmarkStepScale(b *testing.B) {
+	for _, s := range ScaleSpecs() {
+		b.Run(strings.TrimPrefix(s.Name, "StepScale/"), s.Bench)
+	}
+}
+
 func TestSpecsAreNamedAndRunnable(t *testing.T) {
 	specs := Specs()
-	if len(specs) != 3 {
-		t.Fatalf("Specs() = %d kernels, want 3", len(specs))
+	want := 3 + len(ScaleSpecs())
+	if len(specs) != want {
+		t.Fatalf("Specs() = %d kernels, want %d", len(specs), want)
 	}
 	for _, s := range specs {
 		if s.Name == "" || s.Bench == nil {
 			t.Errorf("spec %+v incomplete", s)
 		}
+	}
+}
+
+func TestDiffFlagsRegressionsOnly(t *testing.T) {
+	base := []Record{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 100},
+	}
+	cur := []Record{
+		{Name: "A", NsPerOp: 130}, // +30%: regression at the 25% gate
+		{Name: "B", NsPerOp: 120}, // +20%: within the gate
+		{Name: "New", NsPerOp: 50},
+	}
+	rows := Diff(base, cur)
+	if len(rows) != 3 {
+		t.Fatalf("Diff returned %d rows, want 3 (retired kernels dropped)", len(rows))
+	}
+	if rows[2].HasBase {
+		t.Errorf("new kernel %q should have no baseline", rows[2].Name)
+	}
+	regs := Regressions(rows, 0.25)
+	if len(regs) != 1 || regs[0].Name != "A" {
+		t.Fatalf("Regressions = %+v, want exactly kernel A", regs)
+	}
+	var buf bytes.Buffer
+	WriteDiffTable(&buf, rows)
+	for _, want := range []string{"A", "new", "+30.0%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("diff table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestReadJSONRoundTrips(t *testing.T) {
+	recs := []Record{{Name: "X", Iterations: 3, NsPerOp: 1.5, AllocsPerOp: 2, BytesPerOp: 64}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != recs[0] {
+		t.Errorf("ReadJSON round trip = %+v, want %+v", back, recs)
+	}
+}
+
+func TestSyntheticInstanceDeterministic(t *testing.T) {
+	a, err := SyntheticInstance(7, 30, 4, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticInstance(7, 30, 4, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t0 := 0; t0 < a.T; t0++ {
+		for j := range a.Attach[t0] {
+			if a.Attach[t0][j] != b.Attach[t0][j] {
+				t.Fatalf("Attach[%d][%d] differs between identical seeds", t0, j)
+			}
+		}
+	}
+	for i := range a.Capacity {
+		if a.Capacity[i] != b.Capacity[i] {
+			t.Fatalf("Capacity[%d] differs between identical seeds", i)
+		}
+	}
+	if a.Init == nil {
+		t.Fatal("synthetic instance must carry a pre-horizon allocation")
 	}
 }
 

@@ -1,0 +1,54 @@
+// Package prof wires the standard runtime/pprof profiles into the
+// command-line tools: both binaries accept -cpuprofile and -memprofile
+// flags whose outputs feed `go tool pprof` directly.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths
+// and returns a stop function that must run before the process exits:
+// it flushes the CPU profile and writes the heap profile. Call stop via
+// defer on the happy path and explicitly before os.Exit.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

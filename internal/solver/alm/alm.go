@@ -28,7 +28,11 @@ type Constraint struct {
 	RHS    float64
 }
 
-// Problem is a smooth convex program over a box with GE rows.
+// Problem is a smooth convex program over a box with GE rows. Rows are
+// given either as generic sparse Cons or as structured group-sum Groups
+// (see groups.go) — never both. The structured form is the production
+// path for the paper's programs; the sparse form is the reference
+// implementation the property tests compare against.
 type Problem struct {
 	// Obj is the smooth convex objective (gradient oracle).
 	Obj fista.Objective
@@ -36,9 +40,64 @@ type Problem struct {
 	N int
 	// Cons are the inequality rows, all in A·x ≥ b form.
 	Cons []Constraint
+	// Groups optionally supplies the rows in structured group-sum form,
+	// dropping the per-evaluation constraint cost from O(nnz) to
+	// O(N + rows). Mutually exclusive with Cons. Groups.Rows[k] owns
+	// Result.Duals[k], exactly like Cons[k] would.
+	Groups *Groups
 	// Lower and Upper are optional box bounds passed through to the inner
 	// solver; nil means unbounded on that side.
 	Lower, Upper []float64
+}
+
+// numRows returns the dual dimension of the constraint set.
+func (p *Problem) numRows() int {
+	if p.Groups != nil {
+		return p.Groups.NumRows()
+	}
+	return len(p.Cons)
+}
+
+// rowRHS returns b_k for row k.
+func (p *Problem) rowRHS(k int) float64 {
+	if p.Groups != nil {
+		return p.Groups.Rows[k].RHS
+	}
+	return p.Cons[k].RHS
+}
+
+// axInto writes every row activity A_k·x into ax. The sparse path
+// iterates nonzeros row by row (the reference semantics); the structured
+// path derives activities from once-per-call group totals.
+func (p *Problem) axInto(x, ax []float64, sc *groupScratch, workers int) {
+	if p.Groups != nil {
+		p.Groups.axInto(x, ax, sc, workers)
+		return
+	}
+	for k, c := range p.Cons {
+		s := 0.0
+		for t, j := range c.Idx {
+			s += c.Coeffs[t] * x[j]
+		}
+		ax[k] = s
+	}
+}
+
+// addGrad accumulates grad −= Σ_k mult[k]·A_k, skipping zero multipliers.
+func (p *Problem) addGrad(mult, grad []float64, sc *groupScratch, workers int) {
+	if p.Groups != nil {
+		p.Groups.addGrad(mult, grad, sc, workers)
+		return
+	}
+	for k, c := range p.Cons {
+		m := mult[k]
+		if m == 0 {
+			continue
+		}
+		for t, j := range c.Idx {
+			grad[j] -= m * c.Coeffs[t]
+		}
+	}
 }
 
 // Options tunes the outer loop. Zero values select defaults.
@@ -65,6 +124,12 @@ type Options struct {
 	WarmX []float64
 	// WarmDuals optionally seeds the multipliers (copied, not retained).
 	WarmDuals []float64
+	// Workers bounds the goroutines used inside a single Lagrangian
+	// evaluation when the problem supplies structured Groups rows (0 or 1
+	// = serial). Parallelism is threshold-gated on problem size, chunks
+	// are a pure function of the inputs, and partial results reduce in
+	// index order, so results are byte-identical for any value.
+	Workers int
 	// Workspace optionally supplies reusable scratch buffers so repeated
 	// solves of same-shaped problems (the per-slot P2 programs of a
 	// horizon, the continuation stages of the smoothed baselines) allocate
@@ -76,13 +141,16 @@ type Options struct {
 	Workspace *Workspace
 }
 
-// Workspace holds the primal iterate, multiplier, and slack buffers of a
-// solve plus the inner FISTA workspace. The zero value is ready to use.
+// Workspace holds the primal iterate, multiplier, and row-activity
+// buffers of a solve plus the inner FISTA workspace and the structured-
+// kernel scratch. The zero value is ready to use.
 type Workspace struct {
-	x, y, slack []float64
-	inner       fista.Workspace
-	lag         lagrangian
-	res         Result
+	x, y     []float64
+	ax, mult []float64
+	gs       groupScratch
+	inner    fista.Workspace
+	lag      lagrangian
+	res      Result
 }
 
 // ensure sizes the buffers for n variables and m constraint rows.
@@ -93,10 +161,12 @@ func (ws *Workspace) ensure(n, m int) {
 	ws.x = ws.x[:n]
 	if cap(ws.y) < m {
 		ws.y = make([]float64, m)
-		ws.slack = make([]float64, m)
+		ws.ax = make([]float64, m)
+		ws.mult = make([]float64, m)
 	}
 	ws.y = ws.y[:m]
-	ws.slack = ws.slack[:m]
+	ws.ax = ws.ax[:m]
+	ws.mult = ws.mult[:m]
 }
 
 // Result reports the outcome of a solve.
@@ -116,6 +186,11 @@ type Result struct {
 // ErrBadProblem reports malformed input.
 var ErrBadProblem = errors.New("alm: malformed problem")
 
+// errf wraps ErrBadProblem with a formatted detail message.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadProblem, fmt.Sprintf(format, args...))
+}
+
 const maxPenalty = 1e9
 
 // Solve runs the augmented-Lagrangian loop. The error is non-nil only for
@@ -123,6 +198,15 @@ const maxPenalty = 1e9
 func Solve(p *Problem, opts Options) (*Result, error) {
 	if p.N <= 0 {
 		return nil, fmt.Errorf("%w: N=%d", ErrBadProblem, p.N)
+	}
+	if p.Groups != nil {
+		if len(p.Cons) > 0 {
+			return nil, errf("both Cons (%d rows) and Groups (%d rows) set",
+				len(p.Cons), p.Groups.NumRows())
+		}
+		if err := p.Groups.validate(p.N); err != nil {
+			return nil, err
+		}
 	}
 	for k, c := range p.Cons {
 		if len(c.Idx) != len(c.Coeffs) {
@@ -139,9 +223,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	if opts.WarmX != nil && len(opts.WarmX) != p.N {
 		return nil, fmt.Errorf("%w: len(WarmX)=%d, want %d", ErrBadProblem, len(opts.WarmX), p.N)
 	}
-	if opts.WarmDuals != nil && len(opts.WarmDuals) != len(p.Cons) {
+	if opts.WarmDuals != nil && len(opts.WarmDuals) != p.numRows() {
 		return nil, fmt.Errorf("%w: len(WarmDuals)=%d, want %d",
-			ErrBadProblem, len(opts.WarmDuals), len(p.Cons))
+			ErrBadProblem, len(opts.WarmDuals), p.numRows())
 	}
 
 	maxOuter := opts.MaxOuter
@@ -179,7 +263,10 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		// behaviour for one-shot callers; the result then owns its slices.
 		ws = &Workspace{}
 	}
-	ws.ensure(p.N, len(p.Cons))
+	ws.ensure(p.N, p.numRows())
+	if p.Groups != nil {
+		ws.gs.ensure(p.Groups)
+	}
 	x := ws.x
 	if opts.WarmX != nil {
 		copy(x, opts.WarmX) // no-op when WarmX aliases the workspace
@@ -204,7 +291,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 	res := &ws.res
 	*res = Result{}
-	if len(p.Cons) == 0 {
+	if p.numRows() == 0 {
 		inner, err := fista.Minimize(p.Obj, x, fista.Options{
 			MaxIters: innerIters, Tol: objTol, Lower: p.Lower, Upper: p.Upper,
 			Workspace: &ws.inner,
@@ -218,8 +305,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	slack := ws.slack // s_k = b_k − A_k·x
-	ws.lag = lagrangian{p: p, y: y, rho: rho}
+	ws.lag = lagrangian{p: p, y: y, rho: rho, ws: ws, workers: opts.Workers}
 	lag := &ws.lag
 
 	prevObj := math.Inf(1)
@@ -240,19 +326,16 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 		// Multiplier update, violation and dual-movement measurement.
 		viol, dualMove := 0.0, 0.0
-		for k, c := range p.Cons {
-			ax := 0.0
-			for t, j := range c.Idx {
-				ax += c.Coeffs[t] * x[j]
-			}
-			s := c.RHS - ax
-			slack[k] = s
+		p.axInto(x, ws.ax, &ws.gs, opts.Workers)
+		for k := range ws.ax {
+			rhs := p.rowRHS(k)
+			s := rhs - ws.ax[k]
 			yNew := math.Max(0, y[k]+rho*s)
 			if d := math.Abs(yNew-y[k]) / (1 + yNew); d > dualMove {
 				dualMove = d
 			}
 			y[k] = yNew
-			if v := s / (1 + math.Abs(c.RHS)); v > viol {
+			if v := s / (1 + math.Abs(rhs)); v > viol {
 				viol = v
 			}
 		}
@@ -282,12 +365,10 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	res.X = x
 	res.Objective = p.Obj.Eval(x, nil)
 	res.Duals = y
-	for _, c := range p.Cons {
-		ax := 0.0
-		for t, j := range c.Idx {
-			ax += c.Coeffs[t] * x[j]
-		}
-		if v := (c.RHS - ax) / (1 + math.Abs(c.RHS)); v > res.MaxViolation {
+	p.axInto(x, ws.ax, &ws.gs, opts.Workers)
+	for k := range ws.ax {
+		rhs := p.rowRHS(k)
+		if v := (rhs - ws.ax[k]) / (1 + math.Abs(rhs)); v > res.MaxViolation {
 			res.MaxViolation = v
 		}
 	}
@@ -298,10 +379,16 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 // f(x) + Σ_k h_ρ(y_k, s_k) with s_k = b_k − A_k·x and
 // h_ρ(y, s) = (max(0, y+ρs)² − y²) / (2ρ),
 // whose x-gradient is ∇f(x) − Σ_k max(0, y_k+ρ s_k)·A_k.
+//
+// Row activities come from Problem.axInto and the gradient scatter from
+// Problem.addGrad, so the per-evaluation constraint cost is O(nnz) on the
+// sparse reference path and O(N + rows) on the structured Groups path.
 type lagrangian struct {
-	p   *Problem
-	y   []float64
-	rho float64
+	p       *Problem
+	y       []float64
+	rho     float64
+	ws      *Workspace
+	workers int
 }
 
 var _ fista.Objective = (*lagrangian)(nil)
@@ -309,23 +396,21 @@ var _ fista.Objective = (*lagrangian)(nil)
 // Eval implements fista.Objective.
 func (l *lagrangian) Eval(x, grad []float64) float64 {
 	f := l.p.Obj.Eval(x, grad)
-	for k, c := range l.p.Cons {
-		ax := 0.0
-		for t, j := range c.Idx {
-			ax += c.Coeffs[t] * x[j]
-		}
-		s := c.RHS - ax
+	ax, mult := l.ws.ax, l.ws.mult
+	l.p.axInto(x, ax, &l.ws.gs, l.workers)
+	for k := range ax {
+		s := l.p.rowRHS(k) - ax[k]
 		m := l.y[k] + l.rho*s
 		if m > 0 {
 			f += (m*m - l.y[k]*l.y[k]) / (2 * l.rho)
-			if grad != nil {
-				for t, j := range c.Idx {
-					grad[j] -= m * c.Coeffs[t]
-				}
-			}
+			mult[k] = m
 		} else {
 			f -= l.y[k] * l.y[k] / (2 * l.rho)
+			mult[k] = 0
 		}
+	}
+	if grad != nil {
+		l.p.addGrad(mult, grad, &l.ws.gs, l.workers)
 	}
 	return f
 }

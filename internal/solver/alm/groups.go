@@ -1,0 +1,300 @@
+package alm
+
+import "edgealloc/internal/solver/par"
+
+// This file implements the structured group-sum constraint kernel. Every
+// constraint row of the paper's programs P0–P3 is a *group sum* over an
+// I×J allocation grid (possibly repeated over T slot blocks):
+//
+//   - demand rows sum a user's column:        Σ_i x_{ij} ≥ λ_j
+//   - capacity rows sum a cloud's row:       −Σ_j x_{ij} ≥ −C_i
+//   - complement rows sum everything but one
+//     cloud's row:                    Σ_{k≠i} Σ_j x_{kj} ≥ (Λ−C_i)⁺
+//
+// Materialized as generic sparse rows (Constraint) the complement rows
+// alone carry I·(I−1)·J nonzeros, so each augmented-Lagrangian evaluation
+// costs O(I²·J). The structured form computes per-block cloud totals,
+// user totals, and the block grand total once per evaluation — O(I·J) —
+// and derives every row activity from them in O(1); the transpose-
+// gradient contribution of all rows is fused into a single O(I·J) pass
+// using per-cloud and per-user multiplier aggregates (a variable in cloud
+// row i receives Σ_{i'≠i} m_{i'} = M − m_i from the complement rows).
+//
+// The heavy passes are threshold-gated parallel (see internal/solver/par)
+// with per-slot result buffers reduced in index order, so results are
+// byte-identical for any Options.Workers value.
+
+// GroupKind enumerates the structured row shapes over one I×J block.
+type GroupKind uint8
+
+const (
+	// GroupUserSum is a demand-style column sum: Σ_i x[off+i·J+Index] with
+	// coefficient +1 (Index is a user j).
+	GroupUserSum GroupKind = iota
+	// GroupCloudSumNeg is a capacity-style negated row sum:
+	// −Σ_j x[off+Index·J+j] (Index is a cloud i).
+	GroupCloudSumNeg
+	// GroupComplement is the paper's complement row: the block total minus
+	// cloud Index's row sum, Σ_{k≠Index} Σ_j x[off+k·J+j], coefficient +1.
+	GroupComplement
+)
+
+// GroupRow is one structured inequality row A_k·x ≥ RHS, where A_k is
+// determined by (Block, Kind, Index). Rows carry no index or coefficient
+// slices: their geometry is implicit, so a full constraint set is O(I+J)
+// words per block instead of O(I²·J).
+type GroupRow struct {
+	// Block selects the slot block the row sums over (0 for single-slot
+	// programs; the offline program has one block per slot).
+	Block int
+	// Kind selects the group shape.
+	Kind GroupKind
+	// Index is the user j (GroupUserSum) or cloud i (other kinds).
+	Index int
+	// RHS is the row's right-hand side b_k.
+	RHS float64
+}
+
+// Groups is a structured constraint set over Blocks consecutive I×J
+// variable blocks laid out x[b·I·J + i·J + j]. The k-th row of Rows owns
+// the k-th dual multiplier in Result.Duals, exactly like Cons rows do.
+// Rows must not be mutated during a Solve.
+type Groups struct {
+	// I and J are the per-block grid dimensions (clouds × users).
+	I, J int
+	// Blocks is the number of consecutive blocks; Blocks·I·J must equal
+	// Problem.N.
+	Blocks int
+	// Rows are the structured rows in dual order.
+	Rows []GroupRow
+
+	// hasUser/hasCompl are set during validation and skip the user-total
+	// and complement passes when the corresponding kinds are absent.
+	hasUser, hasCompl bool
+}
+
+// NumRows returns the number of structured rows (the dual dimension).
+func (g *Groups) NumRows() int { return len(g.Rows) }
+
+// validate checks the geometry against n variables and caches the
+// kind-presence flags.
+func (g *Groups) validate(n int) error {
+	if g.I <= 0 || g.J <= 0 || g.Blocks <= 0 {
+		return errf("groups shape I=%d J=%d Blocks=%d must be positive", g.I, g.J, g.Blocks)
+	}
+	if g.Blocks*g.I*g.J != n {
+		return errf("groups cover %d variables, problem has %d", g.Blocks*g.I*g.J, n)
+	}
+	g.hasUser, g.hasCompl = false, false
+	for k, r := range g.Rows {
+		if r.Block < 0 || r.Block >= g.Blocks {
+			return errf("groups row %d references block %d of %d", k, r.Block, g.Blocks)
+		}
+		switch r.Kind {
+		case GroupUserSum:
+			if r.Index < 0 || r.Index >= g.J {
+				return errf("groups row %d references user %d of %d", k, r.Index, g.J)
+			}
+			g.hasUser = true
+		case GroupCloudSumNeg, GroupComplement:
+			if r.Index < 0 || r.Index >= g.I {
+				return errf("groups row %d references cloud %d of %d", k, r.Index, g.I)
+			}
+			if r.Kind == GroupComplement {
+				g.hasCompl = true
+			}
+		default:
+			return errf("groups row %d has unknown kind %d", k, r.Kind)
+		}
+	}
+	return nil
+}
+
+// parGrain is the minimum number of grid variables per worker before the
+// structured kernels go parallel; below it goroutine startup dominates.
+// Overridable by tests to exercise the parallel paths on small problems.
+var parGrain = 16384
+
+// groupScratch holds the per-evaluation aggregates of the structured
+// kernel, sized once per workspace.
+type groupScratch struct {
+	cloudTot []float64 // Blocks×I row sums
+	userTot  []float64 // Blocks×J column sums
+	blockTot []float64 // Blocks grand totals
+	du       []float64 // Blocks×J summed demand multipliers
+	dcap     []float64 // Blocks×I summed capacity multipliers
+	dcomp    []float64 // Blocks×I summed complement multipliers
+	complSum []float64 // Blocks complement multiplier totals
+}
+
+func (sc *groupScratch) ensure(g *Groups) {
+	bi, bj, b := g.Blocks*g.I, g.Blocks*g.J, g.Blocks
+	if cap(sc.cloudTot) < bi {
+		sc.cloudTot = make([]float64, bi)
+		sc.dcap = make([]float64, bi)
+		sc.dcomp = make([]float64, bi)
+	}
+	sc.cloudTot, sc.dcap, sc.dcomp = sc.cloudTot[:bi], sc.dcap[:bi], sc.dcomp[:bi]
+	if cap(sc.userTot) < bj {
+		sc.userTot = make([]float64, bj)
+		sc.du = make([]float64, bj)
+	}
+	sc.userTot, sc.du = sc.userTot[:bj], sc.du[:bj]
+	if cap(sc.blockTot) < b {
+		sc.blockTot = make([]float64, b)
+		sc.complSum = make([]float64, b)
+	}
+	sc.blockTot, sc.complSum = sc.blockTot[:b], sc.complSum[:b]
+}
+
+// cloudTotRange fills sc.cloudTot for grid rows [lo, hi). Named (not a
+// closure) so the serial path allocates nothing; the parallel path wraps
+// it in a closure whose one allocation is amortized by the fan-out.
+func (g *Groups) cloudTotRange(x []float64, sc *groupScratch, lo, hi int) {
+	nJ := g.J
+	for r := lo; r < hi; r++ {
+		row := x[r*nJ : (r+1)*nJ]
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		sc.cloudTot[r] = s
+	}
+}
+
+// userTotRange fills sc.userTot for columns [lo, hi) of the Blocks×J
+// column index space, summing each user's strided column in cloud order.
+func (g *Groups) userTotRange(x []float64, sc *groupScratch, lo, hi int) {
+	nJ := g.J
+	nIJ := g.I * nJ
+	for c := lo; c < hi; c++ {
+		b, j := c/nJ, c%nJ
+		s := 0.0
+		for k := b*nIJ + j; k < (b+1)*nIJ; k += nJ {
+			s += x[k]
+		}
+		sc.userTot[c] = s
+	}
+}
+
+// axInto writes every row activity A_k·x into ax from once-per-call
+// totals: O(I·J) per block plus O(1) per row.
+func (g *Groups) axInto(x, ax []float64, sc *groupScratch, workers int) {
+	nI, nJ := g.I, g.J
+	rows := g.Blocks * nI
+	if w := par.Bound(workers, rows*nJ, parGrain); w <= 1 {
+		if g.hasUser {
+			// Serial fused pass: the cloud and user totals read the same
+			// grid, so one sweep fills both. Each userTot[j] accumulates
+			// its column in ascending cloud order — the same order the
+			// strided userTotRange sums — so the bits match the parallel
+			// branch exactly.
+			for c := range sc.userTot {
+				sc.userTot[c] = 0
+			}
+			for r := 0; r < rows; r++ {
+				row := x[r*nJ : (r+1)*nJ]
+				ut := sc.userTot[(r/nI)*nJ : (r/nI+1)*nJ]
+				s := 0.0
+				for j, v := range row {
+					s += v
+					ut[j] += v
+				}
+				sc.cloudTot[r] = s
+			}
+		} else {
+			g.cloudTotRange(x, sc, 0, rows)
+		}
+	} else {
+		par.Ranges(w, rows, func(lo, hi int) { g.cloudTotRange(x, sc, lo, hi) })
+		if g.hasUser {
+			cols := g.Blocks * nJ
+			par.Ranges(par.Bound(workers, g.Blocks*nI*nJ, parGrain), cols,
+				func(lo, hi int) { g.userTotRange(x, sc, lo, hi) })
+		}
+	}
+	if g.hasCompl {
+		for b := 0; b < g.Blocks; b++ {
+			s := 0.0
+			for _, v := range sc.cloudTot[b*nI : (b+1)*nI] {
+				s += v
+			}
+			sc.blockTot[b] = s
+		}
+	}
+	for k, r := range g.Rows {
+		switch r.Kind {
+		case GroupUserSum:
+			ax[k] = sc.userTot[r.Block*nJ+r.Index]
+		case GroupCloudSumNeg:
+			ax[k] = -sc.cloudTot[r.Block*nI+r.Index]
+		default: // GroupComplement
+			ax[k] = sc.blockTot[r.Block] - sc.cloudTot[r.Block*nI+r.Index]
+		}
+	}
+}
+
+// addGrad accumulates grad −= Σ_k mult[k]·A_k in one fused O(I·J) pass:
+// the variable at (block b, cloud i, user j) receives
+// dcap[b,i] − du[b,j] − (complSum[b] − dcomp[b,i]).
+func (g *Groups) addGrad(mult, grad []float64, sc *groupScratch, workers int) {
+	nI, nJ := g.I, g.J
+	for k := range sc.du {
+		sc.du[k] = 0
+	}
+	for k := range sc.dcap {
+		sc.dcap[k] = 0
+		sc.dcomp[k] = 0
+	}
+	for b := range sc.complSum {
+		sc.complSum[b] = 0
+	}
+	for k, r := range g.Rows {
+		m := mult[k]
+		if m == 0 {
+			continue
+		}
+		switch r.Kind {
+		case GroupUserSum:
+			sc.du[r.Block*nJ+r.Index] += m
+		case GroupCloudSumNeg:
+			sc.dcap[r.Block*nI+r.Index] += m
+		default: // GroupComplement
+			sc.dcomp[r.Block*nI+r.Index] += m
+			sc.complSum[r.Block] += m
+		}
+	}
+	rows := g.Blocks * nI
+	if w := par.Bound(workers, rows*nJ, parGrain); w <= 1 {
+		g.gradRange(grad, sc, 0, rows)
+	} else {
+		par.Ranges(w, rows, func(lo, hi int) { g.gradRange(grad, sc, lo, hi) })
+	}
+}
+
+// gradRange applies the fused per-cloud-row gradient pass to grid rows
+// [lo, hi); named so the serial path allocates nothing.
+func (g *Groups) gradRange(grad []float64, sc *groupScratch, lo, hi int) {
+	nI, nJ := g.I, g.J
+	for r := lo; r < hi; r++ {
+		b, i := r/nI, r%nI
+		rowAdd := sc.dcap[b*nI+i] - (sc.complSum[b] - sc.dcomp[b*nI+i])
+		gi := grad[r*nJ : (r+1)*nJ]
+		if g.hasUser {
+			du := sc.du[b*nJ : (b+1)*nJ]
+			if rowAdd == 0 {
+				for j := range gi {
+					gi[j] -= du[j]
+				}
+			} else {
+				for j := range gi {
+					gi[j] += rowAdd - du[j]
+				}
+			}
+		} else if rowAdd != 0 {
+			for j := range gi {
+				gi[j] += rowAdd
+			}
+		}
+	}
+}
