@@ -32,12 +32,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/perf/
 
-# Machine-readable benchmark dump for the perf trajectory.
+# Machine-readable benchmark dump for the perf trajectory, including the
+# scaling tier (tens of minutes; drop -scale for the base kernels only).
 benchjson:
-	$(GO) run ./cmd/edgebench -benchjson BENCH_solver.json
+	$(GO) run ./cmd/edgebench -scale -benchjson BENCH_solver.json
 
-# Regression gate: re-run the kernels and fail if any ns/op grew more
-# than 25% over the committed trajectory. Run before refreshing
-# BENCH_solver.json after performance-sensitive changes.
+# Regression gate: re-run the kernels and fail if any grew more than 25%
+# ns/op or past the allocs/op gate over the committed trajectory. The
+# base kernels only, so it stays minutes; run with -scale by hand before
+# refreshing BENCH_solver.json after performance-sensitive changes.
 bench-diff:
 	$(GO) run ./cmd/edgebench -benchdiff BENCH_solver.json

@@ -36,15 +36,19 @@ func run() int {
 	var (
 		ablation = flag.String("ablation", "all",
 			"study to run: lookahead, regularizer, adversarial, or 'all'")
-		users     = flag.Int("users", 10, "number of mobile users J")
-		horizon   = flag.Int("horizon", 8, "number of time slots T")
-		reps      = flag.Int("reps", 2, "independent repetitions")
-		seed      = flag.Int64("seed", 20140212, "base random seed")
-		workers   = flag.Int("workers", 0, "concurrent (row, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
+		users      = flag.Int("users", 10, "number of mobile users J")
+		horizon    = flag.Int("horizon", 8, "number of time slots T")
+		reps       = flag.Int("reps", 2, "independent repetitions")
+		seed       = flag.Int64("seed", 20140212, "base random seed")
+		workers    = flag.Int("workers", 0, "concurrent (row, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
+		candidates = flag.Int("candidates", 0,
+			"per-user candidate-set size for the paper's algorithm in the ablations (0 = full variable space; any value is certified equal to the full solve)")
 		benchjson = flag.String("benchjson", "",
 			"run the solver microbenchmarks and write machine-readable JSON to this file (e.g. BENCH_solver.json), skipping the ablations")
 		benchdiff = flag.String("benchdiff", "",
-			"run the solver microbenchmarks and compare against this baseline JSON, exiting nonzero if any kernel regressed more than 25% ns/op")
+			"run the solver microbenchmarks and compare against this baseline JSON, exiting nonzero if any kernel regressed more than 25% ns/op or grew its allocs/op past the gate")
+		scale = flag.Bool("scale", false,
+			"include the StepScale/StepSparse scaling tier in -benchjson/-benchdiff (adds tens of minutes)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -67,7 +71,7 @@ func run() int {
 	}
 
 	if *benchjson != "" {
-		recs := perf.RunAll()
+		recs := perf.RunAll(*scale)
 		perf.WriteTable(os.Stdout, recs)
 		f, err := os.Create(*benchjson)
 		if err != nil {
@@ -91,24 +95,25 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		rows := perf.Diff(base, perf.RunAll())
+		rows := perf.Diff(base, perf.RunAll(*scale))
 		perf.WriteDiffTable(os.Stdout, rows)
 		if regs := perf.Regressions(rows, regressionThreshold); len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "edgebench: %d kernel(s) regressed more than %.0f%% ns/op vs %s\n",
-				len(regs), 100*regressionThreshold, *benchdiff)
+			fmt.Fprintf(os.Stderr, "edgebench: %d kernel(s) regressed vs %s (more than %.0f%% ns/op, or allocs/op past the gate)\n",
+				len(regs), *benchdiff, 100*regressionThreshold)
 			return 1
 		}
-		fmt.Printf("no kernel regressed more than %.0f%% ns/op vs %s\n",
-			100*regressionThreshold, *benchdiff)
+		fmt.Printf("no kernel regressed vs %s (ns/op within %.0f%%, allocs/op within the gate)\n",
+			*benchdiff, 100*regressionThreshold)
 		return 0
 	}
 
 	p := experiments.Params{
-		Users:   *users,
-		Horizon: *horizon,
-		Reps:    *reps,
-		Seed:    *seed,
-		Workers: *workers,
+		Users:      *users,
+		Horizon:    *horizon,
+		Reps:       *reps,
+		Seed:       *seed,
+		Workers:    *workers,
+		Candidates: *candidates,
 	}
 	studies := []string{*ablation}
 	if *ablation == "all" {

@@ -39,6 +39,7 @@ func run() int {
 		cases      = flag.Int("cases", 3, "test cases (hours) for figures 2-3")
 		seed       = flag.Int64("seed", 20140212, "base random seed")
 		workers    = flag.Int("workers", 0, "concurrent (case, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
+		candidates = flag.Int("candidates", 0, "per-user candidate-set size for the paper's algorithm (0 = full variable space; any value is certified equal to the full solve)")
 		dist       = flag.String("dist", "", "workload distribution override (power|uniform|normal)")
 		mu         = flag.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
 		mig        = flag.Float64("migscale", 0, "migration price scale (0 = default 1)")
@@ -58,12 +59,13 @@ func run() int {
 	defer stopProf()
 
 	p := experiments.Params{
-		Users:   *users,
-		Horizon: *horizon,
-		Reps:    *reps,
-		Cases:   *cases,
-		Seed:    *seed,
-		Workers: *workers,
+		Users:      *users,
+		Horizon:    *horizon,
+		Reps:       *reps,
+		Cases:      *cases,
+		Seed:       *seed,
+		Workers:    *workers,
+		Candidates: *candidates,
 		Scenario: scenario.Config{
 			WorkloadDist:    *dist,
 			Mu:              *mu,

@@ -48,6 +48,20 @@ type Options struct {
 	// for the structured-vs-dense property tests and the before/after
 	// scaling benchmarks.
 	DenseRows bool
+	// Candidates > 0 enables the certified candidate-set solving path:
+	// each slot, user j's variables are restricted to its Candidates
+	// nearest clouds (by inter-cloud delay from the slot's attachment)
+	// plus every cloud carrying flow from the previous slot, and the
+	// reduced optimum is certified equal to the full P2 optimum by a
+	// dual-feasibility pricing pass that re-admits mispriced pairs and
+	// re-solves warm (see sparse.go). 0 solves the full dense variable
+	// space directly. Takes precedence over DenseRows.
+	Candidates int
+	// CandidateTol is the reduced-cost tolerance of the pricing pass,
+	// relative to 1 + |static coefficient| per pair (default 1e-7):
+	// pruned pairs priced below −CandidateTol·(1+|ā_ij|) rejoin the
+	// problem. Only meaningful with Candidates > 0.
+	CandidateTol float64
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +82,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Solver.Penalty == 0 {
 		o.Solver.Penalty = 2
+	}
+	if o.CandidateTol <= 0 {
+		o.CandidateTol = 1e-7
 	}
 	return o
 }
@@ -104,6 +121,7 @@ type OnlineApprox struct {
 	cons     []alm.Constraint
 	groups   *alm.Groups
 	lower    []float64
+	sparse   *sparseState
 	obj      *p2Objective
 	prob     alm.Problem
 	ws       alm.Workspace
@@ -142,12 +160,16 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	if o.obj == nil {
 		o.obj = newP2ObjectiveConst(in, o.opts.Epsilon1, o.opts.Epsilon2)
 		o.obj.workers = o.opts.Solver.Workers
-		if o.opts.DenseRows {
+		switch {
+		case o.opts.Candidates > 0:
+			o.initSparse(in)
+		case o.opts.DenseRows:
 			o.cons = p2Constraints(in, t)
-		} else {
+			o.lower = make([]float64, in.I*in.J)
+		default:
 			o.groups = p2Groups(in)
+			o.lower = make([]float64, in.I*in.J)
 		}
-		o.lower = make([]float64, in.I*in.J)
 		o.prevBuf = make([]float64, in.I*in.J)
 		copy(o.prevBuf, o.prev.X)
 		o.prev = model.Alloc{I: in.I, J: in.J, X: o.prevBuf}
@@ -162,39 +184,51 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	}
 	o.obj.bind(in, t, o.prev)
 
-	o.prob = alm.Problem{
-		Obj:    o.obj,
-		N:      in.I * in.J,
-		Lower:  o.lower,
-		Cons:   o.cons,
-		Groups: o.groups,
-	}
-	sopts := o.opts.Solver
-	sopts.Workspace = &o.ws
-	sopts.WarmX = o.prev.X
-	if t == 0 && allZero(o.prev.X) {
-		// From the formal model's x_{·,·,0} = 0 every complement-capacity
-		// row starts violated by the full Λ−C_i, and the penalty pushes
-		// the entire allocation upward before the demand duals settle,
-		// which can leave an over-allocated (capacity-violating) point.
-		// Starting from any demand-tight feasible point — the slot's
-		// static-cost transportation optimum — avoids that regime
-		// entirely; Theorem 1 then keeps every later slot feasible.
-		if warm, err := feasibleWarmStart(in, t); err == nil {
-			sopts.WarmX = warm
+	var res *alm.Result
+	var xSrc []float64
+	if o.sparse != nil {
+		r, xd, err := o.solveSparse(t)
+		if err != nil {
+			return model.Alloc{}, fmt.Errorf("core: slot %d: %w", t, err)
 		}
-	}
-	if o.warmDuals != nil {
-		sopts.WarmDuals = o.warmDuals
-	}
-	res, err := alm.Solve(&o.prob, sopts)
-	if err != nil {
-		return model.Alloc{}, fmt.Errorf("core: slot %d: %w", t, err)
+		res, xSrc = r, xd
+	} else {
+		o.prob = alm.Problem{
+			Obj:    o.obj,
+			N:      in.I * in.J,
+			Lower:  o.lower,
+			Cons:   o.cons,
+			Groups: o.groups,
+		}
+		sopts := o.opts.Solver
+		sopts.Workspace = &o.ws
+		sopts.WarmX = o.prev.X
+		if t == 0 && allZero(o.prev.X) {
+			// From the formal model's x_{·,·,0} = 0 every complement-capacity
+			// row starts violated by the full Λ−C_i, and the penalty pushes
+			// the entire allocation upward before the demand duals settle,
+			// which can leave an over-allocated (capacity-violating) point.
+			// Starting from any demand-tight feasible point — the slot's
+			// static-cost transportation optimum — avoids that regime
+			// entirely; Theorem 1 then keeps every later slot feasible.
+			if warm, err := feasibleWarmStart(in, t); err == nil {
+				sopts.WarmX = warm
+			}
+		}
+		if o.warmDuals != nil {
+			sopts.WarmDuals = o.warmDuals
+		}
+		r, err := alm.Solve(&o.prob, sopts)
+		if err != nil {
+			return model.Alloc{}, fmt.Errorf("core: slot %d: %w", t, err)
+		}
+		res, xSrc = r, r.X
 	}
 
-	// res.X and res.Duals alias the workspace; copy the decision out
-	// before the next Step overwrites them.
-	x := model.Alloc{I: in.I, J: in.J, X: append([]float64(nil), res.X...)}
+	// res.X/res.Duals alias the workspace (and the sparse path's dense
+	// scatter aliases its scratch); copy the decision out before the next
+	// Step overwrites them.
+	x := model.Alloc{I: in.I, J: in.J, X: append([]float64(nil), xSrc...)}
 	repair(in, x, o.userTot)
 
 	copy(o.prevBuf, x.X)

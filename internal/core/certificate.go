@@ -93,6 +93,15 @@ func (c *Certificate) LowerBoundP0() float64 {
 // entering constraint (14a) — are identical under both choices, while the
 // bound β ≤ w_mg·b_i of (14c) only holds with λ_j (the paper's own Lemma-2
 // derivation for (14c) silently uses the λ_j form; see DESIGN.md).
+//
+// The construction reads only the realized schedule, never the solver's
+// multipliers, so it is indifferent to how each slot was solved: the
+// candidate-set path (Options.Candidates > 0) produces the same certified
+// bound as the dense path because its pricing loop makes the reduced
+// optimum the full optimum — the pruned pairs sit at zero exactly as the
+// dense solve leaves them, and the g_{ij,t} stationarity values the
+// certificate derives from the schedule are unchanged. No lifting of the
+// reduced duals is needed.
 func (o *OnlineApprox) Certificate() (*Certificate, error) {
 	in := o.inst
 	if o.slot != in.T {

@@ -47,7 +47,7 @@ func AblationLookahead(p Params) (*Result, error) {
 						MuSchedule: []float64{0.05, 2e-3},
 						Solver: alm.Options{MaxOuter: 25, InnerIters: 600,
 							FeasTol: 1e-6, DualTol: 1e-3, ObjTol: 1e-7, Penalty: 4}},
-					approxAlg{},
+					p.approx(),
 				}
 			},
 		})
@@ -91,7 +91,7 @@ func AblationRegularizer(p Params) (*Result, error) {
 			},
 			Algs: func() []sim.Algorithm {
 				return []sim.Algorithm{
-					approxAlg{},
+					p.approx(),
 					&core.Proximal{Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
 						FeasTol: 1e-7, DualTol: 1e-3, ObjTol: 1e-8, Penalty: 2}},
 				}

@@ -43,6 +43,13 @@ type Params struct {
 	// every worker count: each unit of work derives its RNG seed from
 	// (Seed, case, rep) alone and owns all of its state.
 	Workers int
+	// Candidates restricts the paper's algorithm to dual-certified
+	// per-user candidate sets of this size (core.Options.Candidates):
+	// each slot solves over the Candidates clouds nearest each user's
+	// attachment plus the clouds its flow already occupies, expanding on
+	// pricing violations until the reduced solution is certified optimal
+	// for the full problem. 0 solves the full I·J variable space.
+	Candidates int
 	// Scenario overrides the default §V-A price/weight knobs (fields at
 	// their zero values keep the scenario defaults).
 	Scenario scenario.Config
@@ -178,14 +185,16 @@ func fastGreedy() *baseline.Greedy {
 // with a fresh state and the experiment solver profile per Solve.
 type approxAlg struct {
 	eps1, eps2 float64
+	candidates int
 }
 
 func (a approxAlg) Name() string { return "online-approx" }
 
 func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 	alg := core.NewOnlineApprox(in, core.Options{
-		Epsilon1: a.eps1,
-		Epsilon2: a.eps2,
+		Epsilon1:   a.eps1,
+		Epsilon2:   a.eps2,
+		Candidates: a.candidates,
 		Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
 			FeasTol: 1e-7, DualTol: 1e-3, ObjTol: 1e-8, Penalty: 2},
 	})
@@ -193,6 +202,9 @@ func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 }
 
 var _ sim.Algorithm = approxAlg{}
+
+// approx builds the paper's algorithm adapter under p's knobs.
+func (p Params) approx() approxAlg { return approxAlg{candidates: p.Candidates} }
 
 // aggregate converts per-rep ratio maps into sorted cells.
 func aggregate(samples []map[string]float64) []Cell {
@@ -215,14 +227,16 @@ func aggregate(samples []map[string]float64) []Cell {
 }
 
 // holisticAndAtomistic is the §V-B algorithm roster (excluding offline-opt
-// which is the denominator).
-func holisticAndAtomistic() []sim.Algorithm {
-	return []sim.Algorithm{
-		&baseline.Atomistic{Kind: baseline.PerfOpt},
-		&baseline.Atomistic{Kind: baseline.OperOpt},
-		&baseline.Atomistic{Kind: baseline.StatOpt},
-		fastGreedy(),
-		approxAlg{},
+// which is the denominator), fresh per call for the pooled engine.
+func holisticAndAtomistic(p Params) func() []sim.Algorithm {
+	return func() []sim.Algorithm {
+		return []sim.Algorithm{
+			&baseline.Atomistic{Kind: baseline.PerfOpt},
+			&baseline.Atomistic{Kind: baseline.OperOpt},
+			&baseline.Atomistic{Kind: baseline.StatOpt},
+			fastGreedy(),
+			p.approx(),
+		}
 	}
 }
 
@@ -315,7 +329,7 @@ func Fig2(p Params) (*Result, error) {
 	if p.Scenario.WorkloadDist == "" {
 		p.Scenario.WorkloadDist = "power"
 	}
-	rows, err := runRows(p, caseRows(p, buildRome, holisticAndAtomistic))
+	rows, err := runRows(p, caseRows(p, buildRome, holisticAndAtomistic(p)))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig2: %w", err)
 	}
@@ -347,7 +361,7 @@ func Fig3(p Params) (*Result, error) {
 	for _, dist := range []string{"uniform", "normal"} {
 		pd := p
 		pd.Scenario.WorkloadDist = dist
-		for _, rs := range caseRows(pd, buildRome, holisticAndAtomistic) {
+		for _, rs := range caseRows(pd, buildRome, holisticAndAtomistic(pd)) {
 			rs.Label = dist + " " + rs.Label
 			specs = append(specs, rs)
 		}
@@ -382,7 +396,7 @@ func Fig4(p Params) (*Result, error) {
 				return buildRome(p.scenarioConfig(p.Seed + int64(rep)))
 			},
 			Algs: func() []sim.Algorithm {
-				return []sim.Algorithm{approxAlg{eps1: eps, eps2: eps}}
+				return []sim.Algorithm{approxAlg{eps1: eps, eps2: eps, candidates: p.Candidates}}
 			},
 		})
 	}
@@ -396,7 +410,7 @@ func Fig4(p Params) (*Result, error) {
 				cfg.Mu = mu
 				return buildRome(cfg)
 			},
-			Algs: func() []sim.Algorithm { return []sim.Algorithm{approxAlg{}} },
+			Algs: func() []sim.Algorithm { return []sim.Algorithm{p.approx()} },
 		})
 	}
 	rows, err := runRows(p, specs)
@@ -429,7 +443,7 @@ func Fig5(p Params) (*Result, error) {
 				return buildRandomWalk(pu.scenarioConfig(p.Seed + int64(100*users+rep)))
 			},
 			Algs: func() []sim.Algorithm {
-				return []sim.Algorithm{fastGreedy(), approxAlg{}}
+				return []sim.Algorithm{fastGreedy(), p.approx()}
 			},
 		})
 	}

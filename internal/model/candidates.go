@@ -1,0 +1,164 @@
+package model
+
+import "sort"
+
+// This file defines the ragged candidate-set index used by the sparse
+// (candidate-set) solving layer of the online algorithm. The per-slot
+// program P2 is posed over the full I×J allocation grid, but its cost
+// geometry — service-quality delay d(l_{j,t}, i) plus migration
+// penalties — concentrates each user's mass on a handful of clouds near
+// its attachment point. A CandidateSet names, for every user j, the
+// subset K_j ⊆ I of clouds the solver keeps as variables; everything
+// outside K_j is pinned at zero and certified optimal afterwards through
+// the dual multipliers (see internal/core/sparse.go).
+
+// CandidateSet is a ragged subset of an I×J allocation grid in
+// cloud-major CSR form: the variables of cloud i occupy positions
+// RowPtr[i]..RowPtr[i+1] of the packed vector, and Cols[k] is the user
+// served by packed variable k. Users appear in ascending order within
+// each cloud row, so a packed vector enumerates the grid in the same
+// (i, j) order as the dense row-major layout with the pruned pairs
+// removed.
+type CandidateSet struct {
+	I, J   int
+	RowPtr []int // len I+1, nondecreasing, RowPtr[0] = 0
+	Cols   []int // len NNZ, user of each packed variable
+}
+
+// NNZ returns the number of packed variables Σ_j |K_j|.
+func (c *CandidateSet) NNZ() int { return len(c.Cols) }
+
+// NearestClouds returns, for every cloud a, the min(k, I) clouds with the
+// smallest delay[a][i], ties broken toward the lower cloud index, listed
+// in ascending index order. Row a always contains a itself (its delay is
+// the zero diagonal). The attachment cloud of a user changes per slot but
+// the delay matrix does not, so callers compute this table once per
+// instance and look rows up by attachment.
+func NearestClouds(delay [][]float64, k int) [][]int {
+	nI := len(delay)
+	if k > nI {
+		k = nI
+	}
+	if k < 1 {
+		k = 1
+	}
+	order := make([]int, nI)
+	out := make([][]int, nI)
+	for a := 0; a < nI; a++ {
+		for i := range order {
+			order[i] = i
+		}
+		row := delay[a]
+		sort.SliceStable(order, func(x, y int) bool {
+			if row[order[x]] != row[order[y]] {
+				return row[order[x]] < row[order[y]]
+			}
+			return order[x] < order[y]
+		})
+		sel := append([]int(nil), order[:k]...)
+		sort.Ints(sel)
+		out[a] = sel
+	}
+	return out
+}
+
+// CandidateBuilder accumulates (cloud, user) memberships for one slot and
+// emits them as a CandidateSet. All buffers are reused across Reset
+// cycles, so the steady-state per-slot cost is O(I·J) scans with no
+// allocation; membership adds are idempotent. A builder must not be
+// shared between goroutines.
+type CandidateBuilder struct {
+	nI, nJ int
+	member []bool // I×J row-major membership bitmap
+	counts []int  // per-cloud row sizes, reused by Build
+}
+
+// NewCandidateBuilder returns a builder for an I×J grid.
+func NewCandidateBuilder(I, J int) *CandidateBuilder {
+	return &CandidateBuilder{
+		nI:     I,
+		nJ:     J,
+		member: make([]bool, I*J),
+		counts: make([]int, I+1),
+	}
+}
+
+// Reset clears every membership.
+func (b *CandidateBuilder) Reset() {
+	for k := range b.member {
+		b.member[k] = false
+	}
+}
+
+// Add marks (cloud i, user j) as a candidate.
+func (b *CandidateBuilder) Add(i, j int) { b.member[i*b.nJ+j] = true }
+
+// Contains reports whether (cloud i, user j) is currently a candidate.
+func (b *CandidateBuilder) Contains(i, j int) bool { return b.member[i*b.nJ+j] }
+
+// AddUserSet marks every cloud of the slice as a candidate for user j.
+func (b *CandidateBuilder) AddUserSet(j int, clouds []int) {
+	for _, i := range clouds {
+		b.member[i*b.nJ+j] = true
+	}
+}
+
+// AddSupport marks every (i, j) whose entry of the dense row-major vector
+// x is nonzero. Passing the previous slot's decision keeps the
+// reconfiguration and migration terms of P2 exact on the reduced space:
+// a pair with x'_{ij} > 0 outside K_j would silently turn its migration
+// hinge into a constant, so carryover pairs must stay in.
+func (b *CandidateBuilder) AddSupport(x []float64) {
+	for k, v := range x {
+		if v != 0 {
+			b.member[k] = true
+		}
+	}
+}
+
+// Build emits the current memberships into dst, reusing dst's slices when
+// they have capacity. The builder's memberships are retained, so callers
+// can Add more pairs (the expansion loop of the certified solver) and
+// Build again.
+func (b *CandidateBuilder) Build(dst *CandidateSet) {
+	nI, nJ := b.nI, b.nJ
+	counts := b.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	nnz := 0
+	for i := 0; i < nI; i++ {
+		row := b.member[i*nJ : (i+1)*nJ]
+		c := 0
+		for _, m := range row {
+			if m {
+				c++
+			}
+		}
+		counts[i+1] = c
+		nnz += c
+	}
+	dst.I, dst.J = nI, nJ
+	if cap(dst.RowPtr) < nI+1 {
+		dst.RowPtr = make([]int, nI+1)
+	}
+	dst.RowPtr = dst.RowPtr[:nI+1]
+	dst.RowPtr[0] = 0
+	for i := 0; i < nI; i++ {
+		dst.RowPtr[i+1] = dst.RowPtr[i] + counts[i+1]
+	}
+	if cap(dst.Cols) < nnz {
+		dst.Cols = make([]int, nnz)
+	}
+	dst.Cols = dst.Cols[:nnz]
+	for i := 0; i < nI; i++ {
+		row := b.member[i*nJ : (i+1)*nJ]
+		at := dst.RowPtr[i]
+		for j, m := range row {
+			if m {
+				dst.Cols[at] = j
+				at++
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNearestCloudsSelectsByDelayWithIndexTies(t *testing.T) {
+	delay := [][]float64{
+		{0, 3, 1, 2},
+		{3, 0, 1, 1},
+		{1, 1, 0, 5},
+		{2, 1, 5, 0},
+	}
+	near := NearestClouds(delay, 2)
+	want := [][]int{
+		{0, 2}, // own (0) then delay-1 cloud 2
+		{1, 2}, // own (1); clouds 2 and 3 tie at delay 1 — lower index wins
+		{0, 2}, // own (2); clouds 0 and 1 tie at delay 1 — lower index wins
+		{1, 3}, // own (3) then delay-1 cloud 1
+	}
+	for a := range want {
+		if len(near[a]) != len(want[a]) {
+			t.Fatalf("row %d: got %v, want %v", a, near[a], want[a])
+		}
+		for k := range want[a] {
+			if near[a][k] != want[a][k] {
+				t.Errorf("row %d: got %v, want %v", a, near[a], want[a])
+				break
+			}
+		}
+	}
+}
+
+func TestNearestCloudsClampsK(t *testing.T) {
+	delay := [][]float64{{0, 1}, {1, 0}}
+	for _, k := range []int{0, 1, 5} {
+		near := NearestClouds(delay, k)
+		wantLen := k
+		if wantLen < 1 {
+			wantLen = 1
+		}
+		if wantLen > 2 {
+			wantLen = 2
+		}
+		for a := range near {
+			if len(near[a]) != wantLen {
+				t.Errorf("k=%d row %d: %d clouds, want %d", k, a, len(near[a]), wantLen)
+			}
+		}
+	}
+}
+
+// TestCandidateBuilderCSRMatchesBitmap cross-checks the CSR emission
+// against the membership bitmap on random add patterns, including reuse
+// of the destination across Reset cycles and incremental adds between
+// Build calls (the expansion-loop usage).
+func TestCandidateBuilderCSRMatchesBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const I, J = 6, 11
+	b := NewCandidateBuilder(I, J)
+	var cs CandidateSet
+	for trial := 0; trial < 50; trial++ {
+		b.Reset()
+		ref := make(map[[2]int]bool)
+		add := func(i, j int) {
+			b.Add(i, j)
+			ref[[2]int{i, j}] = true
+		}
+		for n := rng.Intn(25); n > 0; n-- {
+			add(rng.Intn(I), rng.Intn(J))
+		}
+		check := func() {
+			t.Helper()
+			b.Build(&cs)
+			if cs.NNZ() != len(ref) {
+				t.Fatalf("trial %d: NNZ %d, want %d", trial, cs.NNZ(), len(ref))
+			}
+			if cs.RowPtr[0] != 0 || cs.RowPtr[I] != cs.NNZ() {
+				t.Fatalf("trial %d: RowPtr ends %d..%d, want 0..%d",
+					trial, cs.RowPtr[0], cs.RowPtr[I], cs.NNZ())
+			}
+			for i := 0; i < I; i++ {
+				cols := cs.Cols[cs.RowPtr[i]:cs.RowPtr[i+1]]
+				for k, j := range cols {
+					if k > 0 && cols[k-1] >= j {
+						t.Fatalf("trial %d: row %d columns not strictly ascending: %v", trial, i, cols)
+					}
+					if !ref[[2]int{i, j}] {
+						t.Fatalf("trial %d: CSR has (%d,%d) not in reference", trial, i, j)
+					}
+					if !b.Contains(i, j) {
+						t.Fatalf("trial %d: Contains(%d,%d) false after Add", trial, i, j)
+					}
+				}
+			}
+		}
+		check()
+		// Incremental adds after a Build must accumulate (expansion loop).
+		for n := rng.Intn(10); n > 0; n-- {
+			add(rng.Intn(I), rng.Intn(J))
+		}
+		check()
+	}
+}
+
+func TestCandidateBuilderAddSupportAndUserSet(t *testing.T) {
+	const I, J = 3, 4
+	b := NewCandidateBuilder(I, J)
+	x := make([]float64, I*J)
+	x[1*J+2] = 0.5
+	x[2*J+0] = 1e-12 // any nonzero counts: carryover must stay exact
+	b.AddSupport(x)
+	b.AddUserSet(3, []int{0, 2})
+	var cs CandidateSet
+	b.Build(&cs)
+	want := map[[2]int]bool{{1, 2}: true, {2, 0}: true, {0, 3}: true, {2, 3}: true}
+	if cs.NNZ() != len(want) {
+		t.Fatalf("NNZ %d, want %d", cs.NNZ(), len(want))
+	}
+	for i := 0; i < I; i++ {
+		for _, j := range cs.Cols[cs.RowPtr[i]:cs.RowPtr[i+1]] {
+			if !want[[2]int{i, j}] {
+				t.Errorf("unexpected candidate (%d,%d)", i, j)
+			}
+		}
+	}
+}

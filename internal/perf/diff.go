@@ -17,11 +17,30 @@ func ReadJSON(r io.Reader) ([]Record, error) {
 
 // DiffRow compares one kernel's current measurement against a baseline.
 type DiffRow struct {
-	Name    string
-	BaseNs  float64 // 0 when the kernel is new (absent from the baseline)
-	CurNs   float64
-	Delta   float64 // (cur-base)/base; 0 when BaseNs is 0
-	HasBase bool
+	Name       string
+	BaseNs     float64 // 0 when the kernel is new (absent from the baseline)
+	CurNs      float64
+	Delta      float64 // (cur-base)/base; 0 when BaseNs is 0
+	BaseAllocs int64   // allocs/op recorded in the baseline
+	CurAllocs  int64
+	HasBase    bool
+}
+
+// AllocRegression reports whether the row's allocs/op grew past the
+// gate: more than a quarter over the baseline, with a slack floor of 2
+// allocations so near-zero baselines (the steady-state Step path runs at
+// ~1 alloc/op) don't fail on measurement jitter. Timing noise on a busy
+// host moves ns/op, not allocation counts, so this gate is the sharper
+// of the two.
+func (r DiffRow) AllocRegression() bool {
+	if !r.HasBase {
+		return false
+	}
+	slack := r.BaseAllocs / 4
+	if slack < 2 {
+		slack = 2
+	}
+	return r.CurAllocs > r.BaseAllocs+slack
 }
 
 // Diff matches current records against baseline records by name, in
@@ -35,10 +54,11 @@ func Diff(base, cur []Record) []DiffRow {
 	}
 	rows := make([]DiffRow, 0, len(cur))
 	for _, r := range cur {
-		row := DiffRow{Name: r.Name, CurNs: r.NsPerOp}
+		row := DiffRow{Name: r.Name, CurNs: r.NsPerOp, CurAllocs: r.AllocsPerOp}
 		if b, ok := byName[r.Name]; ok && b.NsPerOp > 0 {
 			row.BaseNs = b.NsPerOp
 			row.Delta = (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+			row.BaseAllocs = b.AllocsPerOp
 			row.HasBase = true
 		}
 		rows = append(rows, row)
@@ -46,12 +66,13 @@ func Diff(base, cur []Record) []DiffRow {
 	return rows
 }
 
-// Regressions returns the rows whose ns/op grew by more than threshold
-// (0.25 = +25%) relative to the baseline.
+// Regressions returns the rows that fail the gate: ns/op grew by more
+// than threshold (0.25 = +25%) relative to the baseline, or allocs/op
+// grew past the AllocRegression bound.
 func Regressions(rows []DiffRow, threshold float64) []DiffRow {
 	var out []DiffRow
 	for _, r := range rows {
-		if r.HasBase && r.Delta > threshold {
+		if r.HasBase && (r.Delta > threshold || r.AllocRegression()) {
 			out = append(out, r)
 		}
 	}
@@ -60,12 +81,19 @@ func Regressions(rows []DiffRow, threshold float64) []DiffRow {
 
 // WriteDiffTable renders the comparison as a human-readable table.
 func WriteDiffTable(w io.Writer, rows []DiffRow) {
-	fmt.Fprintf(w, "%-32s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %11s\n",
+		"benchmark", "base ns/op", "cur ns/op", "delta", "base allocs", "cur allocs")
 	for _, r := range rows {
 		if !r.HasBase {
-			fmt.Fprintf(w, "%-32s %14s %14.0f %9s\n", r.Name, "-", r.CurNs, "new")
+			fmt.Fprintf(w, "%-32s %14s %14.0f %9s %12s %11d\n",
+				r.Name, "-", r.CurNs, "new", "-", r.CurAllocs)
 			continue
 		}
-		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+8.1f%%\n", r.Name, r.BaseNs, r.CurNs, 100*r.Delta)
+		mark := ""
+		if r.AllocRegression() {
+			mark = " !"
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+8.1f%% %12d %11d%s\n",
+			r.Name, r.BaseNs, r.CurNs, 100*r.Delta, r.BaseAllocs, r.CurAllocs, mark)
 	}
 }

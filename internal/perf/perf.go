@@ -159,14 +159,21 @@ type Spec struct {
 }
 
 // Specs lists the solver microbenchmarks in reporting order: the base
-// kernels followed by the scaling tier (scale.go).
-func Specs() []Spec {
+// kernels, and — when includeScale is set — the scaling tier and the
+// candidate-size sweep (scale.go), which together take tens of minutes
+// and are therefore opt-in (edgebench -scale, non-short `go test
+// -bench`).
+func Specs(includeScale bool) []Spec {
 	specs := []Spec{
 		{"FISTASolve", FISTASolve},
 		{"ALMSolve", ALMSolve},
 		{"OnlineApproxStep", OnlineApproxStep},
 	}
-	return append(specs, ScaleSpecs()...)
+	if includeScale {
+		specs = append(specs, ScaleSpecs()...)
+		specs = append(specs, SparseSpecs()...)
+	}
+	return specs
 }
 
 // Record is one benchmark measurement in the machine-readable dump.
@@ -179,9 +186,10 @@ type Record struct {
 }
 
 // RunAll executes every kernel through testing.Benchmark and collects
-// the per-op statistics.
-func RunAll() []Record {
-	specs := Specs()
+// the per-op statistics; includeScale selects whether the scaling tier
+// runs (see Specs).
+func RunAll(includeScale bool) []Record {
+	specs := Specs(includeScale)
 	recs := make([]Record, 0, len(specs))
 	for _, s := range specs {
 		r := testing.Benchmark(s.Bench)

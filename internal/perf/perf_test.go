@@ -18,23 +18,46 @@ func BenchmarkALMSolve(b *testing.B)         { ALMSolve(b) }
 func BenchmarkOnlineApproxStep(b *testing.B) { OnlineApproxStep(b) }
 
 // BenchmarkStepScale exposes the scaling tier to `go test -bench`; use
-// -bench 'StepScale/I=25,J=1000' to pick one grid point.
+// -bench 'StepScale/I=25,J=1000' to pick one grid point. The tier takes
+// tens of minutes end to end, so -short skips it.
 func BenchmarkStepScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scaling tier takes tens of minutes; skipped under -short")
+	}
 	for _, s := range ScaleSpecs() {
 		b.Run(strings.TrimPrefix(s.Name, "StepScale/"), s.Bench)
 	}
 }
 
-func TestSpecsAreNamedAndRunnable(t *testing.T) {
-	specs := Specs()
-	want := 3 + len(ScaleSpecs())
-	if len(specs) != want {
-		t.Fatalf("Specs() = %d kernels, want %d", len(specs), want)
+// BenchmarkStepSparse exposes the candidate-size sweep; use
+// -bench 'StepSparse/I=50,J=5000/k=8' to pick one width.
+func BenchmarkStepSparse(b *testing.B) {
+	if testing.Short() {
+		b.Skip("candidate sweep runs at the flagship size; skipped under -short")
 	}
+	for _, s := range SparseSpecs() {
+		b.Run(strings.TrimPrefix(s.Name, "StepSparse/"), s.Bench)
+	}
+}
+
+func TestSpecsAreNamedAndRunnable(t *testing.T) {
+	if n := len(Specs(false)); n != 3 {
+		t.Fatalf("Specs(false) = %d kernels, want the 3 base kernels", n)
+	}
+	specs := Specs(true)
+	want := 3 + len(ScaleSpecs()) + len(SparseSpecs())
+	if len(specs) != want {
+		t.Fatalf("Specs(true) = %d kernels, want %d", len(specs), want)
+	}
+	seen := make(map[string]bool, len(specs))
 	for _, s := range specs {
 		if s.Name == "" || s.Bench == nil {
 			t.Errorf("spec %+v incomplete", s)
 		}
+		if seen[s.Name] {
+			t.Errorf("duplicate kernel name %q", s.Name)
+		}
+		seen[s.Name] = true
 	}
 }
 
@@ -43,26 +66,32 @@ func TestDiffFlagsRegressionsOnly(t *testing.T) {
 		{Name: "A", NsPerOp: 100},
 		{Name: "B", NsPerOp: 100},
 		{Name: "Gone", NsPerOp: 100},
+		{Name: "AllocSmall", NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "AllocBig", NsPerOp: 100, AllocsPerOp: 100},
+		{Name: "AllocOK", NsPerOp: 100, AllocsPerOp: 100},
 	}
 	cur := []Record{
 		{Name: "A", NsPerOp: 130}, // +30%: regression at the 25% gate
 		{Name: "B", NsPerOp: 120}, // +20%: within the gate
 		{Name: "New", NsPerOp: 50},
+		{Name: "AllocSmall", NsPerOp: 100, AllocsPerOp: 3}, // within the 2-alloc floor
+		{Name: "AllocBig", NsPerOp: 100, AllocsPerOp: 130}, // +30 allocs: past base/4
+		{Name: "AllocOK", NsPerOp: 100, AllocsPerOp: 120},  // +20 allocs: within base/4
 	}
 	rows := Diff(base, cur)
-	if len(rows) != 3 {
-		t.Fatalf("Diff returned %d rows, want 3 (retired kernels dropped)", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("Diff returned %d rows, want 6 (retired kernels dropped)", len(rows))
 	}
 	if rows[2].HasBase {
 		t.Errorf("new kernel %q should have no baseline", rows[2].Name)
 	}
 	regs := Regressions(rows, 0.25)
-	if len(regs) != 1 || regs[0].Name != "A" {
-		t.Fatalf("Regressions = %+v, want exactly kernel A", regs)
+	if len(regs) != 2 || regs[0].Name != "A" || regs[1].Name != "AllocBig" {
+		t.Fatalf("Regressions = %+v, want exactly kernels A and AllocBig", regs)
 	}
 	var buf bytes.Buffer
 	WriteDiffTable(&buf, rows)
-	for _, want := range []string{"A", "new", "+30.0%"} {
+	for _, want := range []string{"A", "new", "+30.0%", "cur allocs"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("diff table missing %q:\n%s", want, buf.String())
 		}

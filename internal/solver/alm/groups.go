@@ -59,19 +59,39 @@ type GroupRow struct {
 // variable blocks laid out x[b·I·J + i·J + j]. The k-th row of Rows owns
 // the k-th dual multiplier in Result.Duals, exactly like Cons rows do.
 // Rows must not be mutated during a Solve.
+//
+// Setting RowPtr/Cols switches the single-block grid to a ragged
+// cloud-major subset (the candidate-set solving layer of the online
+// algorithm): the variable vector then holds only the kept (i, j) pairs,
+// cloud i's variables occupying x[RowPtr[i]:RowPtr[i+1]] with users
+// Cols[k]. Row semantics are unchanged — a pruned pair simply contributes
+// nothing to any sum — so the dual layout is identical to the dense
+// grid's and multipliers warm-start across layouts.
 type Groups struct {
 	// I and J are the per-block grid dimensions (clouds × users).
 	I, J int
 	// Blocks is the number of consecutive blocks; Blocks·I·J must equal
-	// Problem.N.
+	// Problem.N (dense layout only).
 	Blocks int
 	// Rows are the structured rows in dual order.
 	Rows []GroupRow
+
+	// RowPtr and Cols optionally restrict the grid to a ragged cloud-major
+	// subset (CSR): len(RowPtr) = I+1, nondecreasing, and Cols[k] in
+	// [0, J) is the user of packed variable k. Requires Blocks == 1 and
+	// Problem.N = RowPtr[I] = len(Cols). Within each cloud row the users
+	// must be in the storage order the caller packs x in; ascending order
+	// makes the user-total accumulation order match the dense kernel's.
+	RowPtr []int
+	Cols   []int
 
 	// hasUser/hasCompl are set during validation and skip the user-total
 	// and complement passes when the corresponding kinds are absent.
 	hasUser, hasCompl bool
 }
+
+// ragged reports whether the grid uses the CSR layout.
+func (g *Groups) ragged() bool { return g.RowPtr != nil }
 
 // NumRows returns the number of structured rows (the dual dimension).
 func (g *Groups) NumRows() int { return len(g.Rows) }
@@ -82,7 +102,29 @@ func (g *Groups) validate(n int) error {
 	if g.I <= 0 || g.J <= 0 || g.Blocks <= 0 {
 		return errf("groups shape I=%d J=%d Blocks=%d must be positive", g.I, g.J, g.Blocks)
 	}
-	if g.Blocks*g.I*g.J != n {
+	if g.ragged() {
+		if g.Blocks != 1 {
+			return errf("ragged groups require Blocks=1, have %d", g.Blocks)
+		}
+		if len(g.RowPtr) != g.I+1 || g.RowPtr[0] != 0 {
+			return errf("ragged groups RowPtr len=%d first=%d, want len %d first 0",
+				len(g.RowPtr), g.RowPtr[0], g.I+1)
+		}
+		for i := 0; i < g.I; i++ {
+			if g.RowPtr[i+1] < g.RowPtr[i] {
+				return errf("ragged groups RowPtr decreases at cloud %d", i)
+			}
+		}
+		if g.RowPtr[g.I] != n || len(g.Cols) != n {
+			return errf("ragged groups cover %d variables (len(Cols)=%d), problem has %d",
+				g.RowPtr[g.I], len(g.Cols), n)
+		}
+		for k, j := range g.Cols {
+			if j < 0 || j >= g.J {
+				return errf("ragged groups Cols[%d]=%d out of [0,%d)", k, j, g.J)
+			}
+		}
+	} else if g.Blocks*g.I*g.J != n {
 		return errf("groups cover %d variables, problem has %d", g.Blocks*g.I*g.J, n)
 	}
 	g.hasUser, g.hasCompl = false, false
@@ -177,9 +219,63 @@ func (g *Groups) userTotRange(x []float64, sc *groupScratch, lo, hi int) {
 	}
 }
 
+// cloudTotRaggedRange fills sc.cloudTot for ragged cloud rows [lo, hi).
+func (g *Groups) cloudTotRaggedRange(x []float64, sc *groupScratch, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		s := 0.0
+		for _, v := range x[g.RowPtr[r]:g.RowPtr[r+1]] {
+			s += v
+		}
+		sc.cloudTot[r] = s
+	}
+}
+
+// axIntoRagged is the CSR-layout activity kernel: O(nnz) per call. The
+// user-total scatter stays serial — columns of different cloud rows
+// collide — but it accumulates each column in ascending cloud order, the
+// same order as the dense kernels, and cloud rows still fan out.
+func (g *Groups) axIntoRagged(x, ax []float64, sc *groupScratch, workers int) {
+	nI := g.I
+	if w := par.Bound(workers, len(x), parGrain); w <= 1 {
+		g.cloudTotRaggedRange(x, sc, 0, nI)
+	} else {
+		par.Ranges(w, nI, func(lo, hi int) { g.cloudTotRaggedRange(x, sc, lo, hi) })
+	}
+	if g.hasUser {
+		ut := sc.userTot[:g.J]
+		for j := range ut {
+			ut[j] = 0
+		}
+		for k, j := range g.Cols {
+			ut[j] += x[k]
+		}
+	}
+	if g.hasCompl {
+		s := 0.0
+		for _, v := range sc.cloudTot[:nI] {
+			s += v
+		}
+		sc.blockTot[0] = s
+	}
+	for k, r := range g.Rows {
+		switch r.Kind {
+		case GroupUserSum:
+			ax[k] = sc.userTot[r.Index]
+		case GroupCloudSumNeg:
+			ax[k] = -sc.cloudTot[r.Index]
+		default: // GroupComplement
+			ax[k] = sc.blockTot[0] - sc.cloudTot[r.Index]
+		}
+	}
+}
+
 // axInto writes every row activity A_k·x into ax from once-per-call
 // totals: O(I·J) per block plus O(1) per row.
 func (g *Groups) axInto(x, ax []float64, sc *groupScratch, workers int) {
+	if g.ragged() {
+		g.axIntoRagged(x, ax, sc, workers)
+		return
+	}
 	nI, nJ := g.I, g.J
 	rows := g.Blocks * nI
 	if w := par.Bound(workers, rows*nJ, parGrain); w <= 1 {
@@ -264,11 +360,45 @@ func (g *Groups) addGrad(mult, grad []float64, sc *groupScratch, workers int) {
 			sc.complSum[r.Block] += m
 		}
 	}
+	if g.ragged() {
+		if w := par.Bound(workers, len(grad), parGrain); w <= 1 {
+			g.gradRaggedRange(grad, sc, 0, nI)
+		} else {
+			par.Ranges(w, nI, func(lo, hi int) { g.gradRaggedRange(grad, sc, lo, hi) })
+		}
+		return
+	}
 	rows := g.Blocks * nI
 	if w := par.Bound(workers, rows*nJ, parGrain); w <= 1 {
 		g.gradRange(grad, sc, 0, rows)
 	} else {
 		par.Ranges(w, rows, func(lo, hi int) { g.gradRange(grad, sc, lo, hi) })
+	}
+}
+
+// gradRaggedRange applies the fused gradient pass to ragged cloud rows
+// [lo, hi): packed variable k of cloud r receives
+// dcap[r] − du[Cols[k]] − (complSum − dcomp[r]).
+func (g *Groups) gradRaggedRange(grad []float64, sc *groupScratch, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		rowAdd := sc.dcap[r] - (sc.complSum[0] - sc.dcomp[r])
+		gi := grad[g.RowPtr[r]:g.RowPtr[r+1]]
+		cols := g.Cols[g.RowPtr[r]:g.RowPtr[r+1]]
+		if g.hasUser {
+			if rowAdd == 0 {
+				for k, j := range cols {
+					gi[k] -= sc.du[j]
+				}
+			} else {
+				for k, j := range cols {
+					gi[k] += rowAdd - sc.du[j]
+				}
+			}
+		} else if rowAdd != 0 {
+			for k := range gi {
+				gi[k] += rowAdd
+			}
+		}
 	}
 }
 
