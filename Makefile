@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench benchjson bench-diff
+.PHONY: check fmt vet build test race bench benchjson bench-diff fuzz cover
 
 check: fmt vet build test race
 
@@ -27,6 +27,25 @@ test:
 # more than the 10m default before go test declares a hang.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# Differential fuzzing against the paper-conformance oracle (DESIGN.md
+# §8). Each target runs for FUZZTIME on top of the committed seed corpora
+# under testdata/fuzz; plain `make test` replays the seeds only. go test
+# accepts one fuzz target per invocation, hence the loop.
+FUZZTIME ?= 30s
+
+fuzz:
+	@for target in FuzzOnlineStep FuzzCandidateVsDense FuzzStructuredVsDenseRows; do \
+		echo "== $$target ($(FUZZTIME)) =="; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) ./internal/core/ || exit 1; \
+	done
+	@echo "== FuzzInstanceDecode ($(FUZZTIME)) =="
+	@$(GO) test -run '^$$' -fuzz '^FuzzInstanceDecode$$' -fuzztime $(FUZZTIME) ./internal/model/
+
+# Coverage with per-package floors on the guarantee-bearing packages
+# (scripts/cover.sh; floors recorded in DESIGN.md §8).
+cover:
+	./scripts/cover.sh
 
 # Solver microbenchmarks (ns/op, B/op, allocs/op).
 bench:

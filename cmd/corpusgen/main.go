@@ -1,0 +1,55 @@
+// Command corpusgen regenerates the committed fuzz seed-corpus files for
+// FuzzInstanceDecode: real encoded instances (toy, generated, and
+// Rome-derived) in the `go test fuzz v1` corpus format.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"edgealloc/internal/conform"
+	"edgealloc/internal/model"
+	"edgealloc/internal/scenario"
+)
+
+func main() {
+	dir := filepath.Join("internal", "model", "testdata", "fuzz", "FuzzInstanceDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	rome, _, err := scenario.Rome(scenario.Config{Users: 4, Horizon: 3, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeds := map[string]*model.Instance{
+		"seed-toy":       model.ToyExampleA(),
+		"seed-rome":      rome,
+		"seed-generated": conform.GenInstance(conform.GenConfig{Seed: 99, I: 4, J: 5, T: 3, Tight: true}),
+	}
+	for name, in := range seeds {
+		var buf bytes.Buffer
+		if err := model.WriteInstance(&buf, in); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", buf.String())
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Adversarial fragments: near-valid JSON that must be rejected cleanly.
+	adversarial := map[string]string{
+		"seed-unknown-field": `{"I":1,"J":1,"T":1,"Bogus":3}`,
+		"seed-huge-number":   `{"I":1,"J":1,"T":1,"Workload":[1e308],"Capacity":[1e308]}`,
+		"seed-negative-dims": `{"I":-1,"J":-1,"T":-1}`,
+	}
+	for name, body := range adversarial {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("corpus written to", dir)
+}

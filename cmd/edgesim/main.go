@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,45 +28,59 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the testable body of main: it parses args, executes the
+// requested figures, and writes tables to stdout and errors to stderr,
+// returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("edgesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig        = flag.String("fig", "all", "figure to reproduce: 1..5 or 'all'")
-		users      = flag.Int("users", 15, "number of mobile users J")
-		horizon    = flag.Int("horizon", 12, "number of time slots T")
-		reps       = flag.Int("reps", 2, "independent repetitions per case")
-		cases      = flag.Int("cases", 3, "test cases (hours) for figures 2-3")
-		seed       = flag.Int64("seed", 20140212, "base random seed")
-		workers    = flag.Int("workers", 0, "concurrent (case, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
-		candidates = flag.Int("candidates", 0, "per-user candidate-set size for the paper's algorithm (0 = full variable space; any value is certified equal to the full solve)")
-		dist       = flag.String("dist", "", "workload distribution override (power|uniform|normal)")
-		mu         = flag.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
-		mig        = flag.Float64("migscale", 0, "migration price scale (0 = default 1)")
-		reconf     = flag.Float64("reconf", 0, "mean reconfiguration price (0 = default 1)")
-		sqPrice    = flag.Float64("sqprice", 0, "service-quality price per km (0 = default)")
-		vol        = flag.Float64("vol", 0, "op-price volatility (std/base, 0 = default 0.5)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		fig        = fs.String("fig", "all", "figure to reproduce: 1..5 or 'all'")
+		users      = fs.Int("users", 15, "number of mobile users J")
+		horizon    = fs.Int("horizon", 12, "number of time slots T")
+		reps       = fs.Int("reps", 2, "independent repetitions per case")
+		cases      = fs.Int("cases", 3, "test cases (hours) for figures 2-3")
+		seed       = fs.Int64("seed", 20140212, "base random seed")
+		workers    = fs.Int("workers", 0, "concurrent (case, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
+		candidates = fs.Int("candidates", 0, "per-user candidate-set size for the paper's algorithm (0 = full variable space; any value is certified equal to the full solve)")
+		noconform  = fs.Bool("noconform", false, "disable the paper-conformance oracle on every run (it is on by default)")
+		dist       = fs.String("dist", "", "workload distribution override (power|uniform|normal)")
+		mu         = fs.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
+		mig        = fs.Float64("migscale", 0, "migration price scale (0 = default 1)")
+		reconf     = fs.Float64("reconf", 0, "mean reconfiguration price (0 = default 1)")
+		sqPrice    = fs.Float64("sqprice", 0, "service-quality price per km (0 = default)")
+		vol        = fs.Float64("vol", 0, "op-price volatility (std/base, 0 = default 0.5)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		// The FlagSet has already reported the problem on stderr.
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "edgesim: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "edgesim: %v\n", err)
+		fmt.Fprintf(stderr, "edgesim: %v\n", err)
 		return 1
 	}
 	defer stopProf()
 
 	p := experiments.Params{
-		Users:      *users,
-		Horizon:    *horizon,
-		Reps:       *reps,
-		Cases:      *cases,
-		Seed:       *seed,
-		Workers:    *workers,
-		Candidates: *candidates,
+		Users:           *users,
+		Horizon:         *horizon,
+		Reps:            *reps,
+		Cases:           *cases,
+		Seed:            *seed,
+		Workers:         *workers,
+		Candidates:      *candidates,
+		SkipConformance: *noconform,
 		Scenario: scenario.Config{
 			WorkloadDist:    *dist,
 			Mu:              *mu,
@@ -85,17 +100,17 @@ func run() int {
 		start := time.Now()
 		res, err := experiments.ByName(f, p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "edgesim: %v\n", err)
+			fmt.Fprintf(stderr, "edgesim: %v\n", err)
 			return 1
 		}
-		res.WriteTable(os.Stdout)
-		fmt.Printf("   (%s in %v)\n\n", res.Figure, time.Since(start).Round(time.Millisecond))
+		res.WriteTable(stdout)
+		fmt.Fprintf(stdout, "   (%s in %v)\n\n", res.Figure, time.Since(start).Round(time.Millisecond))
 		if f == "2" || f == "3" {
 			claimSources = append(claimSources, res)
 		}
 	}
 	if len(claimSources) > 0 {
-		fmt.Printf("== headline claims ==\n   %s\n", experiments.SummarizeClaims(claimSources...))
+		fmt.Fprintf(stdout, "== headline claims ==\n   %s\n", experiments.SummarizeClaims(claimSources...))
 	}
 	return 0
 }

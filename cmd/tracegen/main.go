@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"math/rand"
@@ -19,47 +20,62 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args, builds the requested
+// trace, and renders it to stdout, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		modelName = flag.String("model", "taxi", "mobility model: taxi or walk")
-		users     = flag.Int("users", 50, "number of users")
-		horizon   = flag.Int("horizon", 60, "number of one-minute slots")
-		seed      = flag.Int64("seed", 1, "random seed")
-		format    = flag.String("format", "summary", "output: summary or csv")
+		modelName = fs.String("model", "taxi", "mobility model: taxi or walk")
+		users     = fs.Int("users", 50, "number of users")
+		horizon   = fs.Int("horizon", 60, "number of one-minute slots")
+		seed      = fs.Int64("seed", 1, "random seed")
+		format    = fs.String("format", "summary", "output: summary or csv")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "tracegen: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
 
 	tr, err := buildTrace(*modelName, *users, *horizon, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
 	}
 
 	switch *format {
 	case "csv":
-		fmt.Println("slot,user,station,station_name,access_km")
+		fmt.Fprintln(stdout, "slot,user,station,station_name,access_km")
 		for t := 0; t < tr.T; t++ {
 			for j := 0; j < tr.J; j++ {
 				s := tr.Attach[t][j]
-				fmt.Printf("%d,%d,%d,%s,%.4f\n",
+				fmt.Fprintf(stdout, "%d,%d,%d,%s,%.4f\n",
 					t, j, s, mobility.RomeStations[s].Name, tr.AccessKm[t][j])
 			}
 		}
 	case "summary":
-		fmt.Printf("model=%s users=%d horizon=%d seed=%d\n", *modelName, tr.J, tr.T, *seed)
-		fmt.Printf("churn rate: %.4f cloud switches per user-slot\n", tr.ChurnRate())
-		fmt.Println("attachment frequency (capacity is distributed proportionally):")
+		fmt.Fprintf(stdout, "model=%s users=%d horizon=%d seed=%d\n", *modelName, tr.J, tr.T, *seed)
+		fmt.Fprintf(stdout, "churn rate: %.4f cloud switches per user-slot\n", tr.ChurnRate())
+		fmt.Fprintln(stdout, "attachment frequency (capacity is distributed proportionally):")
 		freq := tr.AttachFrequency(len(mobility.RomeStations))
 		for i, f := range freq {
 			bar := ""
 			for n := 0; n < int(f*200); n++ {
 				bar += "#"
 			}
-			fmt.Printf("  %-18s %6.3f %s\n", mobility.RomeStations[i].Name, f, bar)
+			fmt.Fprintf(stdout, "  %-18s %6.3f %s\n", mobility.RomeStations[i].Name, f, bar)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracegen: unknown format %q\n", *format)
+		return 1
 	}
+	return 0
 }
 
 func buildTrace(model string, users, horizon int, seed int64) (*mobility.Trace, error) {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+		errs string // substring required on stderr
+	}{
+		{"bad flag", []string{"-nope"}, 2, "-nope"},
+		{"non-numeric users", []string{"-users", "many"}, 2, "invalid"},
+		{"extra args", []string{"taxi"}, 2, "unexpected arguments"},
+		{"unknown model", []string{"-model", "teleport"}, 1, "unknown model"},
+		{"unknown format", []string{"-format", "xml", "-users", "2", "-horizon", "2"}, 1, "unknown format"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tt.args, &stdout, &stderr); got != tt.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tt.args, got, tt.want, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tt.errs) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tt.errs)
+			}
+		})
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-users", "3", "-horizon", "4", "-seed", "5"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr %q", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"model=taxi users=3 horizon=4 seed=5", "churn rate", "attachment frequency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-model", "walk", "-users", "2", "-horizon", "3", "-format", "csv"}
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr %q", got, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if lines[0] != "slot,user,station,station_name,access_km" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 3 slots × 2 users data rows after the header.
+	if got := len(lines) - 1; got != 6 {
+		t.Errorf("data rows = %d, want 6", got)
+	}
+	for i, l := range lines[1:] {
+		if fields := strings.Split(l, ","); len(fields) != 5 {
+			t.Errorf("row %d = %q: %d fields, want 5", i, l, len(fields))
+		}
+	}
+}
+
+func TestBuildTraceDeterministic(t *testing.T) {
+	a, err := buildTrace("taxi", 4, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildTrace("taxi", 4, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.J != 4 || a.T != 5 {
+		t.Fatalf("trace is %d users × %d slots, want 4×5", a.J, a.T)
+	}
+	for tt := range a.Attach {
+		for j := range a.Attach[tt] {
+			if a.Attach[tt][j] != b.Attach[tt][j] {
+				t.Fatalf("slot %d user %d: %d != %d for equal seeds",
+					tt, j, a.Attach[tt][j], b.Attach[tt][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package conform
+
+import (
+	"math/rand"
+
+	"edgealloc/internal/model"
+)
+
+// This file provides the deterministic small-instance generator shared by
+// the fuzz targets and the metamorphic suite. Fuzzers mutate the scalar
+// knobs of GenConfig (a seed plus clamped dimensions and a couple of
+// regime bits) rather than raw instance bytes: every generated instance
+// is valid by construction, so the search spends its budget exploring
+// price/mobility/capacity regimes instead of rediscovering Validate.
+
+// GenConfig are the scalar knobs of the generator. Dimensions are clamped
+// into small ranges that the solver stack handles at fuzz throughput.
+type GenConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// I, J, T are clamped to [2,6], [1,8], [1,6] respectively.
+	I, J, T int
+	// Tight shrinks spare capacity to 2% of the total workload, putting
+	// every slot near the capacity boundary Theorem 1 must respect.
+	Tight bool
+	// ZeroSq sets WSq = 0, making the total cost linear in the allocation;
+	// the load-scaling metamorphic transform needs this regime for its
+	// exact prediction.
+	ZeroSq bool
+}
+
+// clamp maps an arbitrary fuzzed int into [lo, hi], acting as the
+// identity on values already in range so callers can pre-shape the
+// dimension distribution.
+func clamp(v, lo, hi int) int {
+	span := hi - lo + 1
+	m := (v - lo) % span
+	if m < 0 {
+		m += span
+	}
+	return lo + m
+}
+
+// GenInstance builds a valid random instance from the scalar knobs. The
+// result always passes model.Validate; the generator panics otherwise
+// (a generator bug, which fuzzing should surface loudly).
+func GenInstance(cfg GenConfig) *model.Instance {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nI := clamp(cfg.I, 2, 6)
+	nJ := clamp(cfg.J, 1, 8)
+	nT := clamp(cfg.T, 1, 6)
+
+	in := &model.Instance{
+		I: nI, J: nJ, T: nT,
+		WOp: 0.5 + rng.Float64(), WSq: 0.5 + rng.Float64(),
+		WRc: 0.5 + rng.Float64(), WMg: 0.5 + rng.Float64(),
+	}
+	if cfg.ZeroSq {
+		in.WSq = 0
+	}
+	total := 0.0
+	for j := 0; j < nJ; j++ {
+		l := 0.2 + 1.5*rng.Float64()
+		in.Workload = append(in.Workload, l)
+		total += l
+	}
+	// Random capacity shares, then scale so spare capacity is 30% of the
+	// workload (or 2% under Tight).
+	shares := make([]float64, nI)
+	shareSum := 0.0
+	for i := range shares {
+		shares[i] = 0.2 + rng.Float64()
+		shareSum += shares[i]
+	}
+	slack := 1.3
+	if cfg.Tight {
+		slack = 1.02
+	}
+	for i := 0; i < nI; i++ {
+		in.Capacity = append(in.Capacity, total*slack*shares[i]/shareSum)
+		in.ReconfPrice = append(in.ReconfPrice, 2*rng.Float64())
+		in.MigOutPrice = append(in.MigOutPrice, rng.Float64())
+		in.MigInPrice = append(in.MigInPrice, rng.Float64())
+	}
+	in.InterDelay = make([][]float64, nI)
+	for i := range in.InterDelay {
+		in.InterDelay[i] = make([]float64, nI)
+	}
+	for i := 0; i < nI; i++ {
+		for k := i + 1; k < nI; k++ {
+			d := 0.2 + 4*rng.Float64()
+			in.InterDelay[i][k] = d
+			in.InterDelay[k][i] = d
+		}
+	}
+	for t := 0; t < nT; t++ {
+		op := make([]float64, nI)
+		for i := range op {
+			op[i] = 0.2 + 4*rng.Float64()
+		}
+		attach := make([]int, nJ)
+		acc := make([]float64, nJ)
+		for j := range attach {
+			attach[j] = rng.Intn(nI)
+			acc[j] = rng.Float64()
+		}
+		in.OpPrice = append(in.OpPrice, op)
+		in.Attach = append(in.Attach, attach)
+		in.AccessDelay = append(in.AccessDelay, acc)
+	}
+	if err := in.Validate(); err != nil {
+		panic("conform: generator produced invalid instance: " + err.Error())
+	}
+	return in
+}

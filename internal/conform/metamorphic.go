@@ -1,0 +1,220 @@
+package conform
+
+import (
+	"fmt"
+
+	"edgealloc/internal/model"
+)
+
+// This file is the metamorphic transform catalogue (DESIGN.md §8): each
+// transform rewrites an instance so that the optimal cost changes in a
+// provably predictable way, giving the test suite oracles that need no
+// reference implementation. The catalogue:
+//
+//	ScalePrices(α):    every price scales by α  → OPT scales by exactly α.
+//	ScaleLoad(α):      capacities, workloads, and Init scale by α; with
+//	                   WSq = 0 the cost is linear in x and the feasible
+//	                   sets biject via x ↦ αx → OPT scales by exactly α.
+//	PermuteClouds(π):  index relabeling → OPT unchanged.
+//	PermuteUsers(π):   index relabeling → OPT unchanged.
+//	SplitUser(j):      user j becomes two users with λ_j/2 each and the
+//	                   same mobility; with WSq = 0 any solution maps to a
+//	                   split solution of equal cost by halving the column,
+//	                   and merging a split solution never increases the
+//	                   migration hinges → OPT unchanged. (With WSq > 0 the
+//	                   per-user service-quality average is counted once
+//	                   per user, so the split double-counts it.)
+//
+// Every transform returns a fresh deep-copied instance, never aliasing
+// the input's slices, so transformed instances can be solved concurrently
+// with the original.
+
+// cloneInstance deep-copies every slice field of an instance.
+func cloneInstance(in *model.Instance) *model.Instance {
+	out := *in
+	out.Capacity = append([]float64(nil), in.Capacity...)
+	out.Workload = append([]float64(nil), in.Workload...)
+	out.ReconfPrice = append([]float64(nil), in.ReconfPrice...)
+	out.MigOutPrice = append([]float64(nil), in.MigOutPrice...)
+	out.MigInPrice = append([]float64(nil), in.MigInPrice...)
+	out.InterDelay = cloneMatrix(in.InterDelay)
+	out.OpPrice = cloneMatrix(in.OpPrice)
+	out.AccessDelay = cloneMatrix(in.AccessDelay)
+	out.Attach = make([][]int, len(in.Attach))
+	for t, row := range in.Attach {
+		out.Attach[t] = append([]int(nil), row...)
+	}
+	if in.Init != nil {
+		c := in.Init.Clone()
+		out.Init = &c
+	}
+	return &out
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// ScalePrices multiplies every cost coefficient — operation,
+// reconfiguration, migration prices, inter-cloud and access delays — by
+// alpha > 0. The cost of any fixed schedule scales by exactly alpha, so
+// the optimal cost does too and every optimizer's argmin is unchanged.
+func ScalePrices(in *model.Instance, alpha float64) *model.Instance {
+	if alpha <= 0 {
+		panic(fmt.Sprintf("conform: ScalePrices alpha=%g must be positive", alpha))
+	}
+	out := cloneInstance(in)
+	scaleSlice(out.ReconfPrice, alpha)
+	scaleSlice(out.MigOutPrice, alpha)
+	scaleSlice(out.MigInPrice, alpha)
+	for _, row := range out.InterDelay {
+		scaleSlice(row, alpha)
+	}
+	for _, row := range out.OpPrice {
+		scaleSlice(row, alpha)
+	}
+	for _, row := range out.AccessDelay {
+		scaleSlice(row, alpha)
+	}
+	return out
+}
+
+// ScaleLoad multiplies every capacity, workload, and the initial
+// allocation by alpha > 0. The feasible sets biject via x ↦ αx; when
+// WSq = 0 the objective is linear in x, so the bijection preserves cost
+// ordering and the optimal cost scales by exactly alpha. (With WSq > 0
+// the service-quality term x·d/λ is scale-invariant and only the other
+// components scale; the exact-prediction tests therefore use ZeroSq
+// instances.)
+func ScaleLoad(in *model.Instance, alpha float64) *model.Instance {
+	if alpha <= 0 {
+		panic(fmt.Sprintf("conform: ScaleLoad alpha=%g must be positive", alpha))
+	}
+	out := cloneInstance(in)
+	scaleSlice(out.Capacity, alpha)
+	scaleSlice(out.Workload, alpha)
+	if out.Init != nil {
+		scaleSlice(out.Init.X, alpha)
+	}
+	return out
+}
+
+func scaleSlice(s []float64, alpha float64) {
+	for k := range s {
+		s[k] *= alpha
+	}
+}
+
+// PermuteClouds relabels cloud i as perm[i]. perm must be a permutation
+// of 0..I-1. The optimal cost is invariant under the relabeling.
+func PermuteClouds(in *model.Instance, perm []int) *model.Instance {
+	mustPermutation(perm, in.I, "PermuteClouds")
+	out := cloneInstance(in)
+	for i, p := range perm {
+		out.Capacity[p] = in.Capacity[i]
+		out.ReconfPrice[p] = in.ReconfPrice[i]
+		out.MigOutPrice[p] = in.MigOutPrice[i]
+		out.MigInPrice[p] = in.MigInPrice[i]
+		for k, q := range perm {
+			out.InterDelay[p][q] = in.InterDelay[i][k]
+		}
+	}
+	for t := range in.OpPrice {
+		for i, p := range perm {
+			out.OpPrice[t][p] = in.OpPrice[t][i]
+		}
+		for j, a := range in.Attach[t] {
+			out.Attach[t][j] = perm[a]
+		}
+	}
+	if in.Init != nil {
+		for i, p := range perm {
+			for j := 0; j < in.J; j++ {
+				out.Init.Set(p, j, in.Init.At(i, j))
+			}
+		}
+	}
+	return out
+}
+
+// PermuteUsers relabels user j as perm[j]. perm must be a permutation of
+// 0..J-1. The optimal cost is invariant under the relabeling.
+func PermuteUsers(in *model.Instance, perm []int) *model.Instance {
+	mustPermutation(perm, in.J, "PermuteUsers")
+	out := cloneInstance(in)
+	for j, p := range perm {
+		out.Workload[p] = in.Workload[j]
+	}
+	for t := range in.Attach {
+		for j, p := range perm {
+			out.Attach[t][p] = in.Attach[t][j]
+			out.AccessDelay[t][p] = in.AccessDelay[t][j]
+		}
+	}
+	if in.Init != nil {
+		for i := 0; i < in.I; i++ {
+			for j, p := range perm {
+				out.Init.Set(i, p, in.Init.At(i, j))
+			}
+		}
+	}
+	return out
+}
+
+// SplitUser replaces user j with two users carrying λ_j/2 each, both
+// following j's mobility trace; the split user's halves are appended at
+// positions j and J (the original index keeps one half, the clone goes
+// last). When WSq = 0 the optimal cost is unchanged: halving j's
+// allocation column yields a split solution of identical cost (the op,
+// reconfiguration, and migration terms are positively homogeneous in the
+// column), and merging any split solution's two columns never increases
+// the hinged terms. With WSq > 0 invariance breaks: the service-quality
+// term charges each user its per-unit average delay d/λ_j plus an access
+// constant, so two half-users are charged twice what one user was — the
+// exact-prediction tests therefore use ZeroSq instances.
+func SplitUser(in *model.Instance, j int) *model.Instance {
+	if j < 0 || j >= in.J {
+		panic(fmt.Sprintf("conform: SplitUser j=%d outside [0,%d)", j, in.J))
+	}
+	out := cloneInstance(in)
+	out.J = in.J + 1
+	out.Workload[j] = in.Workload[j] / 2
+	out.Workload = append(out.Workload, in.Workload[j]/2)
+	for t := range out.Attach {
+		out.Attach[t] = append(out.Attach[t], in.Attach[t][j])
+		out.AccessDelay[t] = append(out.AccessDelay[t], in.AccessDelay[t][j])
+	}
+	if in.Init != nil {
+		split := model.NewAlloc(out.I, out.J)
+		for i := 0; i < in.I; i++ {
+			for q := 0; q < in.J; q++ {
+				v := in.Init.At(i, q)
+				if q == j {
+					split.Set(i, q, v/2)
+					split.Set(i, in.J, v/2)
+				} else {
+					split.Set(i, q, v)
+				}
+			}
+		}
+		out.Init = &split
+	}
+	return out
+}
+
+func mustPermutation(perm []int, n int, fn string) {
+	if len(perm) != n {
+		panic(fmt.Sprintf("conform: %s permutation has %d entries, want %d", fn, len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic(fmt.Sprintf("conform: %s: %v is not a permutation of 0..%d", fn, perm, n-1))
+		}
+		seen[p] = true
+	}
+}

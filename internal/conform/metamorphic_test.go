@@ -1,0 +1,211 @@
+package conform_test
+
+import (
+	"math"
+	"testing"
+
+	"edgealloc/internal/conform"
+	"edgealloc/internal/model"
+)
+
+// These tests pin the transforms at the cost level, solver-free: each
+// metamorphic rewrite must change the cost of a *fixed* schedule exactly
+// as the catalogue claims, which is the pointwise identity the OPT-level
+// predictions (internal/core/metamorphic_test.go) rest on.
+
+func totalCost(t *testing.T, in *model.Instance, s model.Schedule) float64 {
+	t.Helper()
+	b, err := in.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Total(b)
+}
+
+func TestScalePricesScalesAnySchedulesCost(t *testing.T) {
+	in := genInstance(t)
+	s := feasibleSchedule(in)
+	base := totalCost(t, in, s)
+	const alpha = 3.25
+	scaled := conform.ScalePrices(in, alpha)
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := totalCost(t, scaled, s)
+	if rel := math.Abs(got-alpha*base) / (1 + alpha*base); rel > 1e-12 {
+		t.Errorf("cost(α·prices) = %g, want α·cost = %g", got, alpha*base)
+	}
+}
+
+func TestScaleLoadScalesMappedSchedulesCost(t *testing.T) {
+	in := conform.GenInstance(conform.GenConfig{Seed: 7, I: 3, J: 4, T: 3, ZeroSq: true})
+	s := feasibleSchedule(in)
+	base := totalCost(t, in, s)
+	const alpha = 0.375
+	scaled := conform.ScaleLoad(in, alpha)
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mapped := make(model.Schedule, len(s))
+	for tt, x := range s {
+		y := x.Clone()
+		for k := range y.X {
+			y.X[k] *= alpha
+		}
+		mapped[tt] = y
+	}
+	got := totalCost(t, scaled, mapped)
+	if rel := math.Abs(got-alpha*base) / (1 + alpha*base); rel > 1e-12 {
+		t.Errorf("cost(α·load, α·x) = %g, want α·cost = %g", got, alpha*base)
+	}
+}
+
+func TestPermutationsPreserveMappedSchedulesCost(t *testing.T) {
+	in := genInstance(t)
+	s := feasibleSchedule(in)
+	base := totalCost(t, in, s)
+
+	cperm := []int{2, 0, 1}
+	pc := conform.PermuteClouds(in, cperm)
+	if err := pc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mapped := make(model.Schedule, len(s))
+	for tt, x := range s {
+		y := model.NewAlloc(in.I, in.J)
+		for i := 0; i < in.I; i++ {
+			for j := 0; j < in.J; j++ {
+				y.Set(cperm[i], j, x.At(i, j))
+			}
+		}
+		mapped[tt] = y
+	}
+	if got := totalCost(t, pc, mapped); math.Abs(got-base) > 1e-12*(1+base) {
+		t.Errorf("cloud-permuted cost %g != %g", got, base)
+	}
+
+	uperm := []int{3, 1, 0, 2}
+	pu := conform.PermuteUsers(in, uperm)
+	if err := pu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for tt, x := range s {
+		y := model.NewAlloc(in.I, in.J)
+		for i := 0; i < in.I; i++ {
+			for j := 0; j < in.J; j++ {
+				y.Set(i, uperm[j], x.At(i, j))
+			}
+		}
+		mapped[tt] = y
+	}
+	if got := totalCost(t, pu, mapped); math.Abs(got-base) > 1e-12*(1+base) {
+		t.Errorf("user-permuted cost %g != %g", got, base)
+	}
+}
+
+func TestSplitUserPreservesHalvedSchedulesCost(t *testing.T) {
+	in := conform.GenInstance(conform.GenConfig{Seed: 7, I: 3, J: 4, T: 3, ZeroSq: true})
+	s := feasibleSchedule(in)
+	base := totalCost(t, in, s)
+	const j = 1
+	split := conform.SplitUser(in, j)
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if split.J != in.J+1 || split.Workload[j] != in.Workload[j]/2 ||
+		split.Workload[in.J] != in.Workload[j]/2 {
+		t.Fatalf("split shape: J=%d workloads %v", split.J, split.Workload)
+	}
+	mapped := make(model.Schedule, len(s))
+	for tt, x := range s {
+		y := model.NewAlloc(split.I, split.J)
+		for i := 0; i < in.I; i++ {
+			for q := 0; q < in.J; q++ {
+				v := x.At(i, q)
+				if q == j {
+					y.Set(i, q, v/2)
+					y.Set(i, in.J, v/2)
+				} else {
+					y.Set(i, q, v)
+				}
+			}
+		}
+		mapped[tt] = y
+	}
+	if got := totalCost(t, split, mapped); math.Abs(got-base) > 1e-12*(1+base) {
+		t.Errorf("split-mapped cost %g != %g (ZeroSq)", got, base)
+	}
+}
+
+// TestTransformsMapInit covers the pre-horizon allocation: every
+// transform must carry Init through its own index/scale mapping, since a
+// mismapped x_{·,·,0} silently corrupts the first slot's migration terms.
+func TestTransformsMapInit(t *testing.T) {
+	in := genInstance(t)
+	init := feasibleSchedule(in)[0].Clone()
+	in.Init = &init
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if out := conform.ScaleLoad(in, 2); out.Init.At(1, 1) != 2*init.At(1, 1) {
+		t.Errorf("ScaleLoad Init[1,1] = %g, want %g", out.Init.At(1, 1), 2*init.At(1, 1))
+	}
+	cperm := []int{1, 2, 0}
+	if out := conform.PermuteClouds(in, cperm); out.Init.At(cperm[2], 1) != init.At(2, 1) {
+		t.Error("PermuteClouds did not permute Init rows")
+	}
+	uperm := []int{1, 0, 3, 2}
+	if out := conform.PermuteUsers(in, uperm); out.Init.At(1, uperm[2]) != init.At(1, 2) {
+		t.Error("PermuteUsers did not permute Init columns")
+	}
+	sp := conform.SplitUser(in, 2)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < in.I; i++ {
+		if sp.Init.At(i, 2) != init.At(i, 2)/2 || sp.Init.At(i, in.J) != init.At(i, 2)/2 {
+			t.Errorf("SplitUser Init row %d: halves %g/%g, want %g split evenly",
+				i, sp.Init.At(i, 2), sp.Init.At(i, in.J), init.At(i, 2))
+		}
+	}
+}
+
+// Transforms must deep-copy: mutating the output may never alias the
+// input's backing arrays.
+func TestTransformsDoNotAliasInput(t *testing.T) {
+	in := genInstance(t)
+	before := in.OpPrice[0][0]
+	out := conform.ScalePrices(in, 2)
+	out.OpPrice[0][0] = -999
+	out.Capacity[0] = -999
+	out.Attach[0][0] = -999
+	if in.OpPrice[0][0] != before || in.Capacity[0] < 0 || in.Attach[0][0] < 0 {
+		t.Error("ScalePrices aliases the input instance")
+	}
+}
+
+func TestTransformPanics(t *testing.T) {
+	in := genInstance(t)
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"ScalePrices zero", func() { conform.ScalePrices(in, 0) }},
+		{"ScaleLoad negative", func() { conform.ScaleLoad(in, -1) }},
+		{"PermuteClouds short", func() { conform.PermuteClouds(in, []int{0}) }},
+		{"PermuteClouds repeat", func() { conform.PermuteClouds(in, []int{0, 0, 2}) }},
+		{"PermuteUsers out of range", func() { conform.PermuteUsers(in, []int{0, 1, 2, 9}) }},
+		{"SplitUser out of range", func() { conform.SplitUser(in, in.J) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}

@@ -607,6 +607,18 @@ func feasibleWarmStart(in *model.Instance, t int) ([]float64, error) {
 	return warm, nil
 }
 
+// CompetitiveRatioBound returns Theorem 2's certified ratio r = 1 + γ|I|
+// for the bound instance under the run's ε parameters, or 0 when no
+// instance is bound yet. It implements the harness's RatioBounder
+// interface so the conformance oracle can check the achieved cost
+// against the certificate.
+func (o *OnlineApprox) CompetitiveRatioBound() float64 {
+	if o.inst == nil {
+		return 0
+	}
+	return RatioBound(o.inst, o.opts.Epsilon1, o.opts.Epsilon2)
+}
+
 // RatioBound returns the paper's parameterized competitive ratio
 // r = 1 + γ|I| with
 // γ = max_i{(C_i+ε₁)ln(1+C_i/ε₁), (C_i+ε₂)ln(1+C_i/ε₂)} (Theorem 2).

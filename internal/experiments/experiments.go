@@ -43,6 +43,12 @@ type Params struct {
 	// every worker count: each unit of work derives its RNG seed from
 	// (Seed, case, rep) alone and owns all of its state.
 	Workers int
+	// SkipConformance disables the paper-conformance oracle that the
+	// engine otherwise runs on every produced schedule (Theorem-1
+	// feasibility, Lemma-1 gap, certificate validity; see
+	// internal/conform). Only the seed harness's basic feasibility check
+	// runs then.
+	SkipConformance bool
 	// Candidates restricts the paper's algorithm to dual-certified
 	// per-user candidate sets of this size (core.Options.Candidates):
 	// each slot solves over the Candidates clouds nearest each user's

@@ -30,10 +30,13 @@ func (c *CandidateSet) NNZ() int { return len(c.Cols) }
 
 // NearestClouds returns, for every cloud a, the min(k, I) clouds with the
 // smallest delay[a][i], ties broken toward the lower cloud index, listed
-// in ascending index order. Row a always contains a itself (its delay is
-// the zero diagonal). The attachment cloud of a user changes per slot but
-// the delay matrix does not, so callers compute this table once per
-// instance and look rows up by attachment.
+// in ascending index order. Row a always contains a itself: its delay is
+// the zero diagonal, and when zero-delay ties with lower indices would
+// crowd it out of the top k, the farthest selected cloud is displaced to
+// keep the documented invariant. Values of k outside [1, I] are clamped.
+// The attachment cloud of a user changes per slot but the delay matrix
+// does not, so callers compute this table once per instance and look rows
+// up by attachment.
 func NearestClouds(delay [][]float64, k int) [][]int {
 	nI := len(delay)
 	if k > nI {
@@ -56,6 +59,18 @@ func NearestClouds(delay [][]float64, k int) [][]int {
 			return order[x] < order[y]
 		})
 		sel := append([]int(nil), order[:k]...)
+		hasSelf := false
+		for _, i := range sel {
+			if i == a {
+				hasSelf = true
+				break
+			}
+		}
+		if !hasSelf {
+			// Zero-delay ties with lower indices filled the row; the last
+			// entry of sel is the farthest (worst) pick, so it yields.
+			sel[len(sel)-1] = a
+		}
 		sort.Ints(sel)
 		out[a] = sel
 	}

@@ -51,6 +51,84 @@ func TestNearestCloudsClampsK(t *testing.T) {
 	}
 }
 
+// TestNearestCloudsEdgeCases tables the degenerate shapes of the
+// candidate seed: k at or past both ends of [1, I], duplicate-delay
+// geometries, and the self-inclusion invariant when zero-delay ties with
+// lower indices would otherwise crowd a cloud out of its own row.
+func TestNearestCloudsEdgeCases(t *testing.T) {
+	tests := []struct {
+		name  string
+		delay [][]float64
+		k     int
+		want  [][]int
+	}{
+		{
+			name:  "k beyond I returns every cloud",
+			delay: [][]float64{{0, 2}, {2, 0}},
+			k:     7,
+			want:  [][]int{{0, 1}, {0, 1}},
+		},
+		{
+			name:  "k zero clamps to one",
+			delay: [][]float64{{0, 2, 3}, {2, 0, 1}, {3, 1, 0}},
+			k:     0,
+			want:  [][]int{{0}, {1}, {2}},
+		},
+		{
+			name:  "k negative clamps to one",
+			delay: [][]float64{{0, 1}, {1, 0}},
+			k:     -4,
+			want:  [][]int{{0}, {1}},
+		},
+		{
+			name: "zero-delay ties keep self in the row",
+			// Co-located clouds: every pairwise delay is zero, so row 2's
+			// top-1 by (delay, index) would be cloud 0 — the invariant
+			// displaces it for 2 itself.
+			delay: [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}},
+			k:     1,
+			want:  [][]int{{0}, {1}, {2}},
+		},
+		{
+			name: "partial zero tie displaces farthest pick only",
+			// Row 2 ties with clouds 0 and 1 at zero; with k=2 the seed
+			// keeps the lower-index tie 0 and yields the second slot to 2.
+			delay: [][]float64{{0, 5, 0}, {5, 0, 0}, {0, 0, 0}},
+			k:     2,
+			want:  [][]int{{0, 2}, {1, 2}, {0, 2}},
+		},
+		{
+			name:  "single cloud",
+			delay: [][]float64{{0}},
+			k:     3,
+			want:  [][]int{{0}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NearestClouds(tt.delay, tt.k)
+			for a := range tt.want {
+				if len(got[a]) != len(tt.want[a]) {
+					t.Fatalf("row %d: got %v, want %v", a, got[a], tt.want[a])
+				}
+				hasSelf := false
+				for k := range tt.want[a] {
+					if got[a][k] != tt.want[a][k] {
+						t.Errorf("row %d: got %v, want %v", a, got[a], tt.want[a])
+						break
+					}
+					if got[a][k] == a {
+						hasSelf = true
+					}
+				}
+				if !hasSelf {
+					t.Errorf("row %d = %v does not contain cloud %d itself", a, got[a], a)
+				}
+			}
+		})
+	}
+}
+
 // TestCandidateBuilderCSRMatchesBitmap cross-checks the CSR emission
 // against the membership bitmap on random add patterns, including reuse
 // of the destination across Reset cycles and incremental adds between

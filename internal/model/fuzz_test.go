@@ -1,0 +1,42 @@
+package model
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzInstanceDecode feeds arbitrary bytes to the instance decoder and
+// holds the codec to its contract: whatever ReadInstance accepts must
+// re-encode (Validate admits no value json.Marshal rejects, NaN/Inf
+// included) and survive a decode round-trip unchanged. Seed corpus files
+// under testdata/fuzz include real encoded instances — toy, generated,
+// and Rome-derived — alongside adversarial fragments.
+func FuzzInstanceDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, ToyExampleA()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"I":1,"J":1,"T":1}`))
+	f.Add([]byte(`{"I":1e999}`))
+	f.Add([]byte(`{"Workload":[null]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to hold it to
+		}
+		var out bytes.Buffer
+		if err := WriteInstance(&out, in); err != nil {
+			t.Fatalf("accepted instance failed to re-encode: %v", err)
+		}
+		back, err := ReadInstance(&out)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(in, back) {
+			t.Fatalf("round-trip changed the instance:\n got %+v\nwant %+v", back, in)
+		}
+	})
+}

@@ -149,6 +149,50 @@ func (in *Instance) Validate() error {
 			}
 		}
 	}
+	// Reject non-finite numeric data anywhere: NaN and ±Inf slip through
+	// the sign checks above (every comparison against NaN is false), yet
+	// they poison every downstream solve and cannot be JSON-encoded.
+	for _, f := range []struct {
+		name string
+		vals []float64
+	}{
+		{"Weights", []float64{in.WOp, in.WSq, in.WRc, in.WMg}},
+		{"Capacity", in.Capacity},
+		{"Workload", in.Workload},
+		{"ReconfPrice", in.ReconfPrice},
+		{"MigOutPrice", in.MigOutPrice},
+		{"MigInPrice", in.MigInPrice},
+	} {
+		if k := firstNonFinite(f.vals); k >= 0 {
+			return fail("%s[%d]=%g not finite", f.name, k, f.vals[k])
+		}
+	}
+	for i, row := range in.InterDelay {
+		if k := firstNonFinite(row); k >= 0 {
+			return fail("InterDelay[%d][%d]=%g not finite", i, k, row[k])
+		}
+	}
+	for t := 0; t < in.T; t++ {
+		if k := firstNonFinite(in.OpPrice[t]); k >= 0 {
+			return fail("OpPrice[%d][%d]=%g not finite", t, k, in.OpPrice[t][k])
+		}
+		if k := firstNonFinite(in.AccessDelay[t]); k >= 0 {
+			return fail("AccessDelay[%d][%d]=%g not finite", t, k, in.AccessDelay[t][k])
+		}
+	}
+	// The pre-horizon allocation, when present, must have the instance's
+	// shape and be a valid (nonnegative, finite) allocation.
+	if in.Init != nil {
+		if in.Init.I != in.I || in.Init.J != in.J || len(in.Init.X) != in.I*in.J {
+			return fail("Init allocation is %dx%d (%d entries), want %dx%d",
+				in.Init.I, in.Init.J, len(in.Init.X), in.I, in.J)
+		}
+		for k, v := range in.Init.X {
+			if !(v >= 0) || math.IsInf(v, 0) {
+				return fail("Init.X[%d]=%g must be finite and nonnegative", k, v)
+			}
+		}
+	}
 	// Capacity must admit a feasible allocation in every slot.
 	total := 0.0
 	for _, l := range in.Workload {
@@ -162,6 +206,16 @@ func (in *Instance) Validate() error {
 		return fail("total capacity %g below total workload %g", capSum, total)
 	}
 	return nil
+}
+
+// firstNonFinite returns the index of the first NaN or ±Inf entry, or -1.
+func firstNonFinite(vals []float64) int {
+	for k, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return k
+		}
+	}
+	return -1
 }
 
 // TotalWorkload returns Λ = Σ_j λ_j.

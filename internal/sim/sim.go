@@ -10,6 +10,8 @@ import (
 	"math"
 	"time"
 
+	"edgealloc/internal/conform"
+	"edgealloc/internal/core"
 	"edgealloc/internal/model"
 )
 
@@ -25,6 +27,21 @@ type Algorithm interface {
 	Solve(in *model.Instance) (model.Schedule, error)
 }
 
+// Certifier is implemented by algorithms (notably *core.OnlineApprox)
+// that can certify a dual lower bound on the offline optimum for their
+// most recent Solve. The harness consults it to cross-check the
+// certificate against the realized cost in the conformance oracle.
+type Certifier interface {
+	Certificate() (*core.Certificate, error)
+}
+
+// RatioBounder is implemented by algorithms carrying a provable
+// competitive-ratio bound (Theorem 2's r = 1 + γ|I|) for their most
+// recent Solve; 0 means no bound is claimed.
+type RatioBounder interface {
+	CompetitiveRatioBound() float64
+}
+
 // Run is the outcome of one algorithm execution on one instance.
 type Run struct {
 	Algorithm string
@@ -32,6 +49,11 @@ type Run struct {
 	Breakdown model.Breakdown
 	// Total is the weighted P0 objective of the schedule.
 	Total float64
+	// Conformance is the paper-conformance oracle's report for the run
+	// (nil when the check was skipped). A run with violations is never
+	// returned — Execute surfaces it as an error instead — so a non-nil
+	// report here is always clean.
+	Conformance *conform.Report
 	// Elapsed is the wall-clock time of the algorithm's Solve call alone.
 	// Feasibility verification and cost evaluation are excluded (they are
 	// harness overhead, tracked by EvalElapsed), so per-algorithm timings
@@ -46,9 +68,32 @@ type Run struct {
 // schedule; the first-order solvers meet it with two orders of margin.
 const feasTol = 1e-4
 
-// Execute runs the algorithm, checks feasibility of its schedule, and
-// evaluates the true weighted cost.
+// Options tunes the harness around one algorithm execution. The zero
+// value is the default configuration: the conformance oracle runs on
+// every produced schedule.
+type Options struct {
+	// SkipConformance disables the paper-conformance oracle and falls back
+	// to the seed harness's basic feasibility check alone. The oracle is
+	// on by default because its cost — a few cost evaluations — is
+	// negligible next to any Solve.
+	SkipConformance bool
+	// Conform tunes the oracle's tolerances; zero values take the
+	// conform package defaults.
+	Conform conform.Options
+}
+
+// Execute runs the algorithm with default options: the schedule is
+// verified by the conformance oracle and evaluated under the true
+// weighted cost.
 func Execute(in *model.Instance, alg Algorithm) (*Run, error) {
+	return ExecuteOpts(in, alg, Options{})
+}
+
+// ExecuteOpts runs the algorithm, verifies its schedule — through the
+// paper-conformance oracle unless opts.SkipConformance — and evaluates
+// the true weighted cost. Conformance violations are returned as errors
+// wrapping conform.ErrNonConformant.
+func ExecuteOpts(in *model.Instance, alg Algorithm, opts Options) (*Run, error) {
 	start := time.Now()
 	sched, err := alg.Solve(in)
 	if err != nil {
@@ -58,8 +103,16 @@ func Execute(in *model.Instance, alg Algorithm) (*Run, error) {
 	// timed separately into EvalElapsed.
 	elapsed := time.Since(start)
 	evalStart := time.Now()
-	if err := in.CheckFeasible(sched, feasTol); err != nil {
-		return nil, fmt.Errorf("sim: %s produced infeasible schedule: %w", alg.Name(), err)
+	var report *conform.Report
+	if opts.SkipConformance {
+		if err := in.CheckFeasible(sched, feasTol); err != nil {
+			return nil, fmt.Errorf("sim: %s produced infeasible schedule: %w", alg.Name(), err)
+		}
+	} else {
+		report = conform.Check(in, sched, diagnose(alg), opts.Conform)
+		if err := report.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %s failed conformance: %w", alg.Name(), err)
+		}
 	}
 	b, err := in.Evaluate(sched)
 	if err != nil {
@@ -70,9 +123,33 @@ func Execute(in *model.Instance, alg Algorithm) (*Run, error) {
 		Schedule:    sched,
 		Breakdown:   b,
 		Total:       in.Total(b),
+		Conformance: report,
 		Elapsed:     elapsed,
 		EvalElapsed: time.Since(evalStart),
 	}, nil
+}
+
+// diagnose collects the solver-side evidence the conformance oracle can
+// cross-check: the dual certificate and the Theorem-2 ratio, for
+// algorithms that expose them.
+func diagnose(alg Algorithm) *conform.Diagnostics {
+	var d conform.Diagnostics
+	if rb, ok := alg.(RatioBounder); ok {
+		d.RatioBound = rb.CompetitiveRatioBound()
+	}
+	if c, ok := alg.(Certifier); ok {
+		if cert, err := c.Certificate(); err == nil {
+			d.HasCertificate = true
+			d.LowerBoundP0 = cert.LowerBoundP0()
+			d.LowerBoundP1 = cert.LowerBoundP1()
+			d.DualResidual = cert.Feasibility.Max()
+			d.NuCharge = cert.NuCharge
+		}
+	}
+	if !d.HasCertificate && d.RatioBound == 0 {
+		return nil
+	}
+	return &d
 }
 
 // Stats summarizes a sample of values.

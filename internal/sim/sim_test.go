@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"edgealloc/internal/conform"
+	"edgealloc/internal/core"
 	"edgealloc/internal/model"
 )
 
@@ -79,8 +81,88 @@ func TestExecuteRejectsInfeasibleSchedule(t *testing.T) {
 	if err == nil {
 		t.Fatal("Execute accepted an infeasible schedule")
 	}
-	if !strings.Contains(err.Error(), "infeasible") {
-		t.Errorf("error %q does not mention infeasibility", err)
+	if !errors.Is(err, conform.ErrNonConformant) {
+		t.Fatalf("error %v does not wrap conform.ErrNonConformant", err)
+	}
+	// The error must name the algorithm and the violated guarantee.
+	for _, want := range []string{"cheater", string(conform.KindDemand)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestExecuteSkipConformance pins the escape hatch: with SkipConformance
+// the cheap legacy feasibility check still rejects the schedule, but the
+// structured conformance report is absent from passing runs.
+func TestExecuteSkipConformance(t *testing.T) {
+	in := model.ToyExampleA()
+	bad := make(model.Schedule, in.T)
+	for t2 := range bad {
+		bad[t2] = model.NewAlloc(in.I, in.J)
+	}
+	opts := Options{SkipConformance: true}
+	if _, err := ExecuteOpts(in, &fixedAlg{name: "cheater", sched: bad}, opts); err == nil {
+		t.Fatal("ExecuteOpts(SkipConformance) accepted an infeasible schedule")
+	}
+	run, err := ExecuteOpts(in, &fixedAlg{name: "ok", sched: feasibleSchedule(in)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Conformance != nil {
+		t.Error("SkipConformance run still carries a conformance report")
+	}
+}
+
+// TestExecuteAttachesConformanceReport: the default path keeps the clean
+// report on the Run so experiment code can inspect breakdowns.
+func TestExecuteAttachesConformanceReport(t *testing.T) {
+	in := model.ToyExampleA()
+	run, err := Execute(in, &fixedAlg{name: "ok", sched: feasibleSchedule(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Conformance == nil || !run.Conformance.OK() {
+		t.Fatalf("Conformance = %+v, want clean report", run.Conformance)
+	}
+	if got := in.Total(run.Conformance.BreakdownP0); math.Abs(got-run.Total) > 1e-12 {
+		t.Errorf("report P0 total %g != run total %g", got, run.Total)
+	}
+}
+
+// lyingAlg returns a feasible schedule but certifies an impossible lower
+// bound, so only the certificate cross-check can catch it.
+type lyingAlg struct {
+	fixedAlg
+	cert core.Certificate
+}
+
+func (l *lyingAlg) Certificate() (*core.Certificate, error) {
+	return &l.cert, nil
+}
+
+func TestExecuteRejectsLyingCertificate(t *testing.T) {
+	in := model.ToyExampleA()
+	sched := feasibleSchedule(in)
+	b, err := in.Evaluate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &lyingAlg{
+		fixedAlg: fixedAlg{name: "liar", sched: sched},
+		cert: core.Certificate{
+			// Claims OPT(P1) is 10x the achieved cost; SigmaWeighted is kept
+			// honest so the violation is isolated to weak duality.
+			D:             10 * in.Total(b),
+			SigmaWeighted: in.WMg * in.Sigma(),
+		},
+	}
+	_, err = Execute(in, alg)
+	if err == nil {
+		t.Fatal("Execute accepted a certificate whose bound exceeds the cost")
+	}
+	if !strings.Contains(err.Error(), string(conform.KindLowerBound)) {
+		t.Errorf("error %q does not mention the lower-bound violation", err)
 	}
 }
 
