@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+		errs string // substring required on stderr
+	}{
+		{"bad flag", []string{"-nope"}, 2, "-nope"},
+		{"non-duration ttl", []string{"-session-ttl", "soon"}, 2, "invalid"},
+		{"unlistenable addr", []string{"-addr", "256.256.256.256:99999"}, 1, "listener failed"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			if got := run(tt.args, &stderr); got != tt.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tt.args, got, tt.want, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tt.errs) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tt.errs)
+			}
+		})
+	}
+}

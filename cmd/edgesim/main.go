@@ -25,6 +25,7 @@ import (
 	"edgealloc/internal/experiments"
 	"edgealloc/internal/prof"
 	"edgealloc/internal/scenario"
+	"edgealloc/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		vol        = fs.Float64("vol", 0, "op-price volatility (std/base, 0 = default 0.5)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsOut = fs.String("metrics", "", "write solver telemetry (Prometheus text format) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		// The FlagSet has already reported the problem on stderr.
@@ -71,6 +73,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer stopProf()
+
+	// The batch engine records into the same instrument bundle the
+	// serving daemon exposes, so a -metrics dump and an edged scrape show
+	// identical metric names.
+	var registry *telemetry.Registry
+	var solverMetrics *telemetry.SolverMetrics
+	if *metricsOut != "" {
+		registry = telemetry.NewRegistry()
+		solverMetrics = telemetry.NewSolverMetrics(registry)
+	}
 
 	p := experiments.Params{
 		Users:           *users,
@@ -89,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			SqPricePerKm:    *sqPrice,
 			PriceVolatility: *vol,
 		},
+		Metrics: solverMetrics,
 	}
 
 	figures := []string{*fig}
@@ -112,5 +125,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(claimSources) > 0 {
 		fmt.Fprintf(stdout, "== headline claims ==\n   %s\n", experiments.SummarizeClaims(claimSources...))
 	}
+	if registry != nil {
+		if err := dumpMetrics(*metricsOut, registry); err != nil {
+			fmt.Fprintf(stderr, "edgesim: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// dumpMetrics writes the run's telemetry in Prometheus text format.
+func dumpMetrics(path string, r *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if err := r.WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return nil
 }

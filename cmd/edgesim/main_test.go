@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,6 +43,36 @@ func TestRunFigure1(t *testing.T) {
 	}
 	if out := stdout.String(); !strings.Contains(out, "Fig 1") {
 		t.Errorf("output %q does not announce Fig 1", out)
+	}
+}
+
+// TestRunMetricsDump checks that -metrics writes a Prometheus text dump
+// carrying the per-slot solver series recorded during the run.
+func TestRunMetricsDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-fig", "1", "-metrics", path}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr %q", got, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics dump: %v", err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE edgealloc_solver_step_seconds histogram",
+		"edgealloc_solver_steps_total",
+		"edgealloc_sim_runs_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "edgealloc_solver_steps_total 0\n") {
+		t.Error("metrics dump recorded zero solver steps; Params.Metrics not plumbed to the algorithm")
+	}
+	if code := run([]string{"-fig", "1", "-metrics", "/no/such/dir/m.prom"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad metrics path: exit %d, want 1", code)
 	}
 }
 

@@ -15,6 +15,7 @@ package conform
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"strings"
 
@@ -77,6 +78,21 @@ func (v Violation) String() string {
 		loc += fmt.Sprintf(" index=%d", v.Index)
 	}
 	return fmt.Sprintf("[%s]%s %s (got %g, bound %g)", v.Kind, loc, v.Detail, v.Got, v.Bound)
+}
+
+// LogValue implements slog.LogValuer: a Violation logged through slog
+// renders as structured fields (kind, slot, index, got, bound, detail)
+// instead of one opaque string, so daemon log pipelines can filter and
+// aggregate oracle findings by guarantee kind.
+func (v Violation) LogValue() slog.Value {
+	return slog.GroupValue(
+		slog.String("kind", string(v.Kind)),
+		slog.Int("slot", v.Slot),
+		slog.Int("index", v.Index),
+		slog.Float64("got", v.Got),
+		slog.Float64("bound", v.Bound),
+		slog.String("detail", v.Detail),
+	)
 }
 
 // Diagnostics carries the solver-side evidence the oracle can cross-check
@@ -155,6 +171,35 @@ type Report struct {
 
 // OK reports a violation-free run.
 func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Counts tallies the collected violations by guarantee kind — the shape
+// the telemetry layer exports (one counter series per kind). Nil for a
+// clean report.
+func (r *Report) Counts() map[Kind]int {
+	if r.OK() {
+		return nil
+	}
+	counts := make(map[Kind]int)
+	for _, v := range r.Violations {
+		counts[v.Kind]++
+	}
+	return counts
+}
+
+// Log emits one structured warning line per collected violation to l
+// (nil-safe on both receiver and logger), tagging each with the run
+// label so concurrent runs stay distinguishable in daemon logs.
+func (r *Report) Log(l *slog.Logger, run string) {
+	if r == nil || l == nil {
+		return
+	}
+	for _, v := range r.Violations {
+		l.Warn("conformance violation", "run", run, "violation", v)
+	}
+	if r.Truncated {
+		l.Warn("conformance report truncated", "run", run, "collected", len(r.Violations))
+	}
+}
 
 // ErrNonConformant is wrapped by every error the oracle returns, so
 // callers can errors.Is on conformance failures specifically.

@@ -21,14 +21,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"edgealloc/internal/model"
 	"edgealloc/internal/solver/alm"
 	"edgealloc/internal/solver/fista"
 	"edgealloc/internal/solver/par"
 	"edgealloc/internal/solver/transport"
+	"edgealloc/internal/telemetry"
 )
 
 // Options tunes the online algorithm.
@@ -62,6 +65,11 @@ type Options struct {
 	// pruned pairs priced below −CandidateTol·(1+|ā_ij|) rejoin the
 	// problem. Only meaningful with Candidates > 0.
 	CandidateTol float64
+	// Metrics optionally records per-slot solver telemetry (solve latency,
+	// ALM/FISTA iteration counts, candidate-set expansion work, per-cloud
+	// utilization) into the shared instrument bundle. Nil records nothing;
+	// recording never changes results.
+	Metrics *telemetry.SolverMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +138,37 @@ type OnlineApprox struct {
 	thetaBuf []float64
 	rhoBuf   []float64
 	nuBuf    []float64
+
+	// dualsBuf owns the warm-start multipliers between slots. The solver's
+	// Result.Duals alias workspace memory that a later (possibly cancelled)
+	// solve scribbles over, so the accepted duals are copied out here: a
+	// Step aborted by context cancellation then leaves the warm state of
+	// the next Step exactly as the last successful slot wrote it.
+	dualsBuf []float64
+	// cloudTot is the utilization scratch of the telemetry hook, allocated
+	// on first use so metric-free runs pay nothing.
+	cloudTot []float64
+	lastDiag StepDiag
+}
+
+// StepDiag describes the solver work of the most recent successful Step:
+// the per-slot numbers the telemetry layer exports and the serving
+// daemon returns to clients.
+type StepDiag struct {
+	// Slot is the slot the diagnostics describe.
+	Slot int
+	// Seconds is the wall-clock duration of the P2 solve (including
+	// candidate expansion rounds, excluding schedule bookkeeping).
+	Seconds float64
+	// Outer and Inner are the ALM multiplier updates and FISTA iterations
+	// spent on the slot, summed over candidate expansion rounds.
+	Outer, Inner int
+	// Converged reports whether the final ALM solve met its tolerances.
+	Converged bool
+	// CandRounds, CandExpanded, and CandNNZ describe the candidate-set
+	// path (zero when Options.Candidates is off): reduced solves, pairs
+	// re-admitted by pricing, and the certified solve's packed size.
+	CandRounds, CandExpanded, CandNNZ int
 }
 
 // NewOnlineApprox prepares a run over a validated instance. A nil
@@ -153,6 +192,23 @@ func (o *OnlineApprox) Name() string { return "online-approx" }
 // Step solves P2 for slot t (which must be the next unprocessed slot) and
 // returns the allocation decision.
 func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
+	return o.StepCtx(context.Background(), t)
+}
+
+// StepCtx is Step with cooperative cancellation: the context is polled
+// between FISTA sweeps inside the per-slot solve, so a cancelled or
+// timed-out ctx aborts the slot promptly with an error wrapping
+// ctx.Err(). A cancelled Step leaves the algorithm state exactly as the
+// previous successful slot left it — the previous decision, the warm-
+// start multipliers, and the slot counter are untouched — so the same
+// slot can be retried (and produces the same decision an uncancelled run
+// would have).
+func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) {
+	if ctx != nil && ctx.Done() == nil {
+		// Never-cancellable context (Background/TODO): skip polling so the
+		// solver hot loop stays branch-for-branch identical to Step.
+		ctx = nil
+	}
 	if t != o.slot {
 		return model.Alloc{}, fmt.Errorf("core: Step(%d) out of order, expected %d", t, o.slot)
 	}
@@ -184,10 +240,15 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	}
 	o.obj.bind(in, t, o.prev)
 
+	solveStart := time.Now()
+	var statsBefore SparseStats
+	if o.sparse != nil {
+		statsBefore = o.sparse.stats
+	}
 	var res *alm.Result
 	var xSrc []float64
 	if o.sparse != nil {
-		r, xd, err := o.solveSparse(t)
+		r, xd, err := o.solveSparse(ctx, t)
 		if err != nil {
 			return model.Alloc{}, fmt.Errorf("core: slot %d: %w", t, err)
 		}
@@ -202,6 +263,7 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 		}
 		sopts := o.opts.Solver
 		sopts.Workspace = &o.ws
+		sopts.Ctx = ctx
 		sopts.WarmX = o.prev.X
 		if t == 0 && allZero(o.prev.X) {
 			// From the formal model's x_{·,·,0} = 0 every complement-capacity
@@ -225,6 +287,8 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 		res, xSrc = r, r.X
 	}
 
+	solveSeconds := time.Since(solveStart).Seconds()
+
 	// res.X/res.Duals alias the workspace (and the sparse path's dense
 	// scatter aliases its scratch); copy the decision out before the next
 	// Step overwrites them.
@@ -232,7 +296,11 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	repair(in, x, o.userTot)
 
 	copy(o.prevBuf, x.X)
-	o.warmDuals = res.Duals
+	if o.dualsBuf == nil {
+		o.dualsBuf = make([]float64, len(res.Duals))
+	}
+	copy(o.dualsBuf, res.Duals)
+	o.warmDuals = o.dualsBuf
 	o.schedule = append(o.schedule, x)
 	theta := o.thetaBuf[t*in.J : (t+1)*in.J]
 	copy(theta, res.Duals[:in.J])
@@ -243,9 +311,47 @@ func (o *OnlineApprox) Step(t int) (model.Alloc, error) {
 	o.thetas = append(o.thetas, theta)
 	o.rhos = append(o.rhos, rho)
 	o.nus = append(o.nus, nu)
+
+	o.lastDiag = StepDiag{
+		Slot:      t,
+		Seconds:   solveSeconds,
+		Outer:     res.Outer,
+		Inner:     res.InnerIters,
+		Converged: res.Converged,
+	}
+	if o.sparse != nil {
+		d := &o.lastDiag
+		s := o.sparse.stats
+		// The sparse result reports the final round only; the stats deltas
+		// cover every expansion round of the slot.
+		d.Outer = s.OuterIters - statsBefore.OuterIters
+		d.Inner = s.InnerIters - statsBefore.InnerIters
+		d.CandRounds = s.Rounds - statsBefore.Rounds
+		d.CandExpanded = s.Expanded - statsBefore.Expanded
+		d.CandNNZ = s.FinalNNZ
+	}
+	if m := o.opts.Metrics; m != nil {
+		d := o.lastDiag
+		m.ObserveStep(d.Seconds, d.Outer, d.Inner, d.Converged)
+		if o.sparse != nil {
+			m.ObserveCandidates(d.CandRounds, d.CandExpanded, d.CandNNZ)
+		}
+		if o.cloudTot == nil {
+			o.cloudTot = make([]float64, in.I)
+		}
+		x.CloudTotalsInto(o.cloudTot)
+		for i := 0; i < in.I; i++ {
+			m.SetCloudUtilization(i, o.cloudTot[i]/in.Capacity[i])
+		}
+	}
+
 	o.slot++
 	return x, nil
 }
+
+// LastStepDiag returns the solver diagnostics of the most recent
+// successful Step (the zero value before any slot has been solved).
+func (o *OnlineApprox) LastStepDiag() StepDiag { return o.lastDiag }
 
 // Run executes all remaining slots and returns the full schedule.
 func (o *OnlineApprox) Run() (model.Schedule, error) {

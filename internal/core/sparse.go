@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"edgealloc/internal/model"
@@ -68,6 +69,9 @@ type SparseStats struct {
 	// InnerIters is the total number of FISTA iterations across all
 	// reduced solves — the per-pair work multiplier the reduction divides.
 	InnerIters int
+	// OuterIters is the total number of ALM multiplier updates across all
+	// reduced solves.
+	OuterIters int
 }
 
 // SparseStats returns the candidate-set work counters (zero value when
@@ -105,7 +109,7 @@ func (o *OnlineApprox) initSparse(in *model.Instance) {
 // result (duals in the standard θ, ρ, ν layout) and the dense scatter of
 // the decision; the returned slice aliases sparse scratch and is only
 // valid until the next call.
-func (o *OnlineApprox) solveSparse(t int) (*alm.Result, []float64, error) {
+func (o *OnlineApprox) solveSparse(ctx context.Context, t int) (*alm.Result, []float64, error) {
 	in, s := o.inst, o.sparse
 
 	// Seed: per-user nearest clouds plus the support of the warm-start
@@ -129,6 +133,7 @@ func (o *OnlineApprox) solveSparse(t int) (*alm.Result, []float64, error) {
 
 	sopts := o.opts.Solver
 	sopts.Workspace = &o.ws
+	sopts.Ctx = ctx
 	if o.warmDuals != nil {
 		sopts.WarmDuals = o.warmDuals
 	}
@@ -148,6 +153,7 @@ func (o *OnlineApprox) solveSparse(t int) (*alm.Result, []float64, error) {
 			return nil, nil, err
 		}
 		s.stats.InnerIters += res.InnerIters
+		s.stats.OuterIters += res.Outer
 		// Scatter before pricing: the dense image is both the expansion
 		// warm start and, on certification, the slot's decision.
 		s.scatter(res.X)

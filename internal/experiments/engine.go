@@ -165,7 +165,8 @@ func (p Params) workers() int {
 
 // simOptions maps the experiment parameters onto the per-run harness
 // options: the conformance oracle is consulted on every unit of work
-// unless explicitly disabled.
+// unless explicitly disabled, and run-level telemetry flows into the
+// shared instrument bundle when one is configured.
 func (p Params) simOptions() sim.Options {
-	return sim.Options{SkipConformance: p.SkipConformance}
+	return sim.Options{SkipConformance: p.SkipConformance, Metrics: p.Metrics}
 }

@@ -23,6 +23,7 @@ import (
 	"edgealloc/internal/scenario"
 	"edgealloc/internal/sim"
 	"edgealloc/internal/solver/alm"
+	"edgealloc/internal/telemetry"
 )
 
 // Params scales an experiment. Zero fields take the figure's defaults.
@@ -59,6 +60,10 @@ type Params struct {
 	// Scenario overrides the default §V-A price/weight knobs (fields at
 	// their zero values keep the scenario defaults).
 	Scenario scenario.Config
+	// Metrics optionally records run- and slot-level solver telemetry
+	// (the same instrument bundle the serving daemon scrapes) across every
+	// unit of work. Nil records nothing; recording never changes results.
+	Metrics *telemetry.SolverMetrics
 }
 
 func (p Params) withDefaults() Params {
@@ -192,6 +197,7 @@ func fastGreedy() *baseline.Greedy {
 type approxAlg struct {
 	eps1, eps2 float64
 	candidates int
+	metrics    *telemetry.SolverMetrics
 }
 
 func (a approxAlg) Name() string { return "online-approx" }
@@ -203,6 +209,7 @@ func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 		Candidates: a.candidates,
 		Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
 			FeasTol: 1e-7, DualTol: 1e-3, ObjTol: 1e-8, Penalty: 2},
+		Metrics: a.metrics,
 	})
 	return alg.Run()
 }
@@ -210,7 +217,9 @@ func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 var _ sim.Algorithm = approxAlg{}
 
 // approx builds the paper's algorithm adapter under p's knobs.
-func (p Params) approx() approxAlg { return approxAlg{candidates: p.Candidates} }
+func (p Params) approx() approxAlg {
+	return approxAlg{candidates: p.Candidates, metrics: p.Metrics}
+}
 
 // aggregate converts per-rep ratio maps into sorted cells.
 func aggregate(samples []map[string]float64) []Cell {
@@ -285,8 +294,10 @@ func trimNotes(p Params, extra ...string) []string {
 
 // Fig1 reproduces the two toy examples of Figure 1 with exact numbers:
 // online-greedy against the exact offline optimum and the paper's
-// algorithm. Cells are absolute total costs, not ratios.
-func Fig1() (*Result, error) {
+// algorithm. Cells are absolute total costs, not ratios. Only the
+// telemetry and conformance knobs of p apply; the toy instances fix the
+// scale.
+func Fig1(p Params) (*Result, error) {
 	res := &Result{
 		Figure: "Fig 1",
 		Title:  "toy examples: greedy too aggressive (a) / too conservative (b)",
@@ -306,11 +317,11 @@ func Fig1() (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
-		greedyRun, err := sim.Execute(tc.inst, fastGreedy())
+		greedyRun, err := sim.ExecuteOpts(tc.inst, fastGreedy(), p.simOptions())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
-		apRun, err := sim.Execute(tc.inst, approxAlg{})
+		apRun, err := sim.ExecuteOpts(tc.inst, approxAlg{metrics: p.Metrics}, p.simOptions())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
@@ -402,7 +413,8 @@ func Fig4(p Params) (*Result, error) {
 				return buildRome(p.scenarioConfig(p.Seed + int64(rep)))
 			},
 			Algs: func() []sim.Algorithm {
-				return []sim.Algorithm{approxAlg{eps1: eps, eps2: eps, candidates: p.Candidates}}
+				return []sim.Algorithm{approxAlg{
+					eps1: eps, eps2: eps, candidates: p.Candidates, metrics: p.Metrics}}
 			},
 		})
 	}
@@ -474,7 +486,7 @@ func fig5UserCounts(base int) []int {
 func ByName(name string, p Params) (*Result, error) {
 	switch strings.ToLower(strings.TrimPrefix(name, "fig")) {
 	case "1":
-		return Fig1()
+		return Fig1(p)
 	case "2":
 		return Fig2(p)
 	case "3":

@@ -13,7 +13,7 @@ func tiny() Params {
 }
 
 func TestFig1MatchesPaperNumbers(t *testing.T) {
-	res, err := Fig1()
+	res, err := Fig1(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestWriteTableRendering(t *testing.T) {
-	res, err := Fig1()
+	res, err := Fig1(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

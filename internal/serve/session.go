@@ -1,0 +1,643 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"edgealloc/internal/conform"
+	"edgealloc/internal/core"
+	"edgealloc/internal/model"
+	"edgealloc/internal/solver/alm"
+)
+
+// maxBodyBytes bounds request bodies; instances are the largest payload
+// (time-major price/attachment arrays) and stay far below this.
+const maxBodyBytes = 256 << 20
+
+// session is one independent run of the online algorithm. Two locks
+// split its state: mu guards the cheap bookkeeping handlers read, and
+// stepMu serializes the slot solves (held across the whole solve, so a
+// session processes one slot at a time while status/schedule/costs stay
+// responsive).
+type session struct {
+	id  string
+	srv *Server
+	// inst and alg are touched only under stepMu after creation; the
+	// solve writes streamed slot data into inst's time-major arrays.
+	inst *model.Instance
+	alg  *core.OnlineApprox
+	// streaming means the instance was created from a skeleton plus a
+	// horizon, so every posted slot must carry its own data.
+	streaming bool
+
+	stepMu sync.Mutex
+
+	mu       sync.Mutex
+	queued   int // solve requests enqueued, including the running one
+	lastUsed time.Time
+	next     int // next slot to solve
+	done     bool
+	sched    model.Schedule // decisions so far (owned copies)
+	costs    model.Breakdown
+	total    float64 // weighted P0 cost so far
+	lastDiag core.StepDiag
+	summary  *conformSummary
+}
+
+// touch refreshes the TTL clock.
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastUsed = now
+	s.mu.Unlock()
+}
+
+// idleSince reports whether the session has no queued work and was last
+// used before the cutoff.
+func (s *session) idleSince(cutoff time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued == 0 && s.lastUsed.Before(cutoff)
+}
+
+// tryEnqueue claims a slot-solve queue position; false means the
+// session's queue bound is hit.
+func (s *session) tryEnqueue(limit int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued >= limit {
+		return false
+	}
+	s.queued++
+	return true
+}
+
+func (s *session) dequeue() {
+	s.mu.Lock()
+	s.queued--
+	s.mu.Unlock()
+}
+
+// --- wire types ---------------------------------------------------------
+
+// solverOptions is the client-tunable subset of core.Options (plus the
+// inner ALM tolerances). Zero values take the package defaults.
+type solverOptions struct {
+	Epsilon1     float64 `json:"epsilon1,omitempty"`
+	Epsilon2     float64 `json:"epsilon2,omitempty"`
+	Candidates   int     `json:"candidates,omitempty"`
+	CandidateTol float64 `json:"candidateTol,omitempty"`
+	MaxOuter     int     `json:"maxOuter,omitempty"`
+	InnerIters   int     `json:"innerIters,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	FeasTol      float64 `json:"feasTol,omitempty"`
+	ObjTol       float64 `json:"objTol,omitempty"`
+	DualTol      float64 `json:"dualTol,omitempty"`
+	Penalty      float64 `json:"penalty,omitempty"`
+}
+
+func (o solverOptions) validate() error {
+	if o.Epsilon1 < 0 || o.Epsilon2 < 0 || o.Candidates < 0 || o.CandidateTol < 0 ||
+		o.MaxOuter < 0 || o.InnerIters < 0 || o.Workers < 0 ||
+		o.FeasTol < 0 || o.ObjTol < 0 || o.DualTol < 0 || o.Penalty < 0 {
+		return errors.New("solver options must be nonnegative")
+	}
+	return nil
+}
+
+func (o solverOptions) coreOptions(srv *Server) core.Options {
+	return core.Options{
+		Epsilon1:     o.Epsilon1,
+		Epsilon2:     o.Epsilon2,
+		Candidates:   o.Candidates,
+		CandidateTol: o.CandidateTol,
+		Solver: alm.Options{
+			MaxOuter:   o.MaxOuter,
+			InnerIters: o.InnerIters,
+			Workers:    o.Workers,
+			FeasTol:    o.FeasTol,
+			ObjTol:     o.ObjTol,
+			DualTol:    o.DualTol,
+			Penalty:    o.Penalty,
+		},
+		Metrics: srv.solver,
+	}
+}
+
+// createRequest creates a session. Instance is either a complete
+// model.Instance (replay mode: all time-major data present up front) or
+// a skeleton with T omitted plus Horizon set (streaming mode: every
+// posted slot carries its own prices and attachments).
+type createRequest struct {
+	Instance json.RawMessage `json:"instance"`
+	Horizon  int             `json:"horizon,omitempty"`
+	Options  solverOptions   `json:"options,omitempty"`
+}
+
+type createResponse struct {
+	ID        string `json:"id"`
+	I         int    `json:"i"`
+	J         int    `json:"j"`
+	Horizon   int    `json:"horizon"`
+	Streaming bool   `json:"streaming"`
+}
+
+// slotRequest reveals slot data and asks for the slot's solve. In
+// replay mode all data fields are optional overrides; in streaming mode
+// opPrice and attach are required (accessDelay defaults to zeros).
+type slotRequest struct {
+	// Slot, when set, must equal the next unsolved slot; it exists so
+	// clients can detect lost ordering instead of silently advancing.
+	Slot              *int      `json:"slot,omitempty"`
+	OpPrice           []float64 `json:"opPrice,omitempty"`
+	Attach            []int     `json:"attach,omitempty"`
+	AccessDelay       []float64 `json:"accessDelay,omitempty"`
+	IncludeAllocation bool      `json:"includeAllocation,omitempty"`
+}
+
+// solveDiag is core.StepDiag on the wire.
+type solveDiag struct {
+	Seconds         float64 `json:"seconds"`
+	OuterIterations int     `json:"outerIterations"`
+	InnerIterations int     `json:"innerIterations"`
+	Converged       bool    `json:"converged"`
+	CandidateRounds int     `json:"candidateRounds,omitempty"`
+	CandidatePairs  int     `json:"candidateExpandedPairs,omitempty"`
+	CandidateNNZ    int     `json:"candidateNNZ,omitempty"`
+}
+
+func diagDTO(d core.StepDiag) solveDiag {
+	return solveDiag{
+		Seconds:         d.Seconds,
+		OuterIterations: d.Outer,
+		InnerIterations: d.Inner,
+		Converged:       d.Converged,
+		CandidateRounds: d.CandRounds,
+		CandidatePairs:  d.CandExpanded,
+		CandidateNNZ:    d.CandNNZ,
+	}
+}
+
+// slotCost is the slot's unweighted component costs plus weighted
+// totals (this slot and the run so far).
+type slotCost struct {
+	Op        float64 `json:"op"`
+	Sq        float64 `json:"sq"`
+	Rc        float64 `json:"rc"`
+	Mg        float64 `json:"mg"`
+	SlotTotal float64 `json:"slotTotal"`
+	RunTotal  float64 `json:"runTotal"`
+}
+
+type slotResponse struct {
+	Session     string          `json:"session"`
+	Slot        int             `json:"slot"`
+	Done        bool            `json:"done"`
+	Cost        slotCost        `json:"cost"`
+	Solve       solveDiag       `json:"solve"`
+	Allocation  []float64       `json:"allocation,omitempty"`
+	Conformance *conformSummary `json:"conformance,omitempty"`
+}
+
+// conformSummary is the oracle's verdict for a completed session.
+type conformSummary struct {
+	OK           bool           `json:"ok"`
+	Violations   map[string]int `json:"violations,omitempty"`
+	RatioBound   float64        `json:"ratioBound,omitempty"`
+	LowerBoundP0 float64        `json:"lowerBoundP0,omitempty"`
+}
+
+type statusResponse struct {
+	ID            string          `json:"id"`
+	I             int             `json:"i"`
+	J             int             `json:"j"`
+	Horizon       int             `json:"horizon"`
+	NextSlot      int             `json:"nextSlot"`
+	Done          bool            `json:"done"`
+	Streaming     bool            `json:"streaming"`
+	WeightedTotal float64         `json:"weightedTotal"`
+	LastSolve     *solveDiag      `json:"lastSolve,omitempty"`
+	Conformance   *conformSummary `json:"conformance,omitempty"`
+}
+
+type costsResponse struct {
+	Session       string   `json:"session"`
+	Slots         int      `json:"slots"`
+	Cost          slotCost `json:"cost"` // run-level: components + weighted total
+	WeightedTotal float64  `json:"weightedTotal"`
+}
+
+// --- handlers -----------------------------------------------------------
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer release()
+
+	var req createRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Instance) == 0 {
+		writeError(w, http.StatusBadRequest, "missing instance")
+		return
+	}
+	if err := req.Options.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	inst, streaming, err := buildInstance(req.Instance, req.Horizon)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.reject(w, http.StatusTooManyRequests, "sessions-full",
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	sess := &session{
+		id:        id,
+		srv:       s,
+		inst:      inst,
+		alg:       core.NewOnlineApprox(inst, req.Options.coreOptions(s)),
+		streaming: streaming,
+		lastUsed:  s.cfg.now(),
+	}
+	s.sessions[id] = sess
+	s.mSessionsTotal.Inc()
+	s.mSessionsActive.Set(float64(len(s.sessions)))
+	s.mu.Unlock()
+
+	s.log.Info("session created", "session", id,
+		"clouds", inst.I, "users", inst.J, "horizon", inst.T, "streaming", streaming)
+	writeJSON(w, http.StatusCreated, createResponse{
+		ID: id, I: inst.I, J: inst.J, Horizon: inst.T, Streaming: streaming,
+	})
+}
+
+// buildInstance decodes the create payload's instance. A payload with
+// T present is replay mode and must validate as-is; a payload without T
+// is a streaming skeleton whose time-major arrays are zero-filled over
+// the given horizon.
+func buildInstance(raw json.RawMessage, horizon int) (*model.Instance, bool, error) {
+	var inst model.Instance
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&inst); err != nil {
+		return nil, false, fmt.Errorf("decoding instance: %w", err)
+	}
+	streaming := inst.T == 0
+	if streaming {
+		if horizon <= 0 {
+			return nil, false, errors.New("streaming instance (no T) requires horizon > 0")
+		}
+		if len(inst.OpPrice) != 0 || len(inst.Attach) != 0 || len(inst.AccessDelay) != 0 {
+			return nil, false, errors.New("streaming instance must omit opPrice/attach/accessDelay")
+		}
+		inst.T = horizon
+		inst.OpPrice = make([][]float64, horizon)
+		inst.Attach = make([][]int, horizon)
+		inst.AccessDelay = make([][]float64, horizon)
+		for t := 0; t < horizon; t++ {
+			inst.OpPrice[t] = make([]float64, inst.I)
+			inst.Attach[t] = make([]int, inst.J)
+			inst.AccessDelay[t] = make([]float64, inst.J)
+		}
+	} else if horizon != 0 && horizon != inst.T {
+		return nil, false, fmt.Errorf("horizon %d conflicts with instance T=%d", horizon, inst.T)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, false, err
+	}
+	return &inst, streaming, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": ids})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sess, id, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session "+id)
+		return
+	}
+	sess.touch(s.cfg.now())
+	sess.mu.Lock()
+	resp := statusResponse{
+		ID:            sess.id,
+		I:             sess.inst.I,
+		J:             sess.inst.J,
+		Horizon:       sess.inst.T,
+		NextSlot:      sess.next,
+		Done:          sess.done,
+		Streaming:     sess.streaming,
+		WeightedTotal: sess.total,
+		Conformance:   sess.summary,
+	}
+	if sess.next > 0 {
+		d := diagDTO(sess.lastDiag)
+		resp.LastSolve = &d
+	}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		s.mEvictedTotal.Inc()
+	}
+	s.mSessionsActive.Set(float64(len(s.sessions)))
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session "+id)
+		return
+	}
+	s.log.Info("session evicted", "session", id, "reason", "delete")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	sess, id, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session "+id)
+		return
+	}
+	sess.touch(s.cfg.now())
+	sess.mu.Lock()
+	sched := sess.sched
+	sess.mu.Unlock()
+	if len(sched) == 0 {
+		writeError(w, http.StatusConflict, "no slots solved yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := model.WriteSchedule(w, sched); err != nil {
+		s.log.Error("encoding schedule", "session", id, "err", err)
+	}
+}
+
+func (s *Server) handleCosts(w http.ResponseWriter, r *http.Request) {
+	sess, id, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session "+id)
+		return
+	}
+	sess.touch(s.cfg.now())
+	sess.mu.Lock()
+	resp := costsResponse{
+		Session: sess.id,
+		Slots:   sess.next,
+		Cost: slotCost{
+			Op: sess.costs.Op, Sq: sess.costs.Sq,
+			Rc: sess.costs.Rc, Mg: sess.costs.Mg,
+			RunTotal: sess.total,
+		},
+		WeightedTotal: sess.total,
+	}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePostSlot(w http.ResponseWriter, r *http.Request) {
+	sess, id, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session "+id)
+		return
+	}
+	var req slotRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+
+	release, admitted := s.admit()
+	if !admitted {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer release()
+	sess.touch(s.cfg.now())
+
+	if !sess.tryEnqueue(s.cfg.SessionQueue) {
+		s.reject(w, http.StatusTooManyRequests, "session-queue",
+			fmt.Sprintf("session %s queue limit %d reached", id, s.cfg.SessionQueue))
+		return
+	}
+	defer sess.dequeue()
+
+	sess.stepMu.Lock()
+	defer sess.stepMu.Unlock()
+
+	sess.mu.Lock()
+	t, done := sess.next, sess.done
+	sess.mu.Unlock()
+	if done {
+		writeError(w, http.StatusConflict, "session horizon complete")
+		return
+	}
+	if req.Slot != nil && *req.Slot != t {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("slot %d out of order, next is %d", *req.Slot, t))
+		return
+	}
+	if err := sess.applySlotData(t, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	releaseWorker, status, reason := s.acquireWorker(r.Context())
+	if status != 0 {
+		s.reject(w, status, reason, "no solver capacity, retry later")
+		return
+	}
+	defer releaseWorker()
+	if s.cfg.hookSolveStart != nil {
+		s.cfg.hookSolveStart(id)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StepTimeout)
+	defer cancel()
+	x, err := sess.alg.StepCtx(ctx, t)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = http.StatusServiceUnavailable
+		}
+		s.log.Warn("slot solve failed", "session", id, "slot", t, "err", err)
+		writeError(w, status, err.Error())
+		return
+	}
+	s.mSlotsTotal.Inc()
+
+	resp := sess.recordSlot(t, x, s.cfg.now())
+	if req.IncludeAllocation {
+		resp.Allocation = x.X
+	}
+	if resp.Done {
+		resp.Conformance = sess.finish()
+	}
+	d := sess.alg.LastStepDiag()
+	s.log.Info("slot solved", "session", id, "slot", t,
+		"seconds", d.Seconds, "outer", d.Outer, "inner", d.Inner, "converged", d.Converged)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applySlotData validates the revealed slot data and writes it into the
+// instance's time-major arrays. Called under stepMu.
+func (sess *session) applySlotData(t int, req *slotRequest) error {
+	in := sess.inst
+	if sess.streaming && (req.OpPrice == nil || req.Attach == nil) {
+		return errors.New("streaming session requires opPrice and attach per slot")
+	}
+	if req.OpPrice != nil {
+		if len(req.OpPrice) != in.I {
+			return fmt.Errorf("len(opPrice)=%d, want %d", len(req.OpPrice), in.I)
+		}
+		for i, v := range req.OpPrice {
+			if !(v >= 0) || math.IsInf(v, 0) {
+				return fmt.Errorf("opPrice[%d]=%g must be finite and nonnegative", i, v)
+			}
+		}
+	}
+	if req.Attach != nil {
+		if len(req.Attach) != in.J {
+			return fmt.Errorf("len(attach)=%d, want %d", len(req.Attach), in.J)
+		}
+		for j, l := range req.Attach {
+			if l < 0 || l >= in.I {
+				return fmt.Errorf("attach[%d]=%d out of [0,%d)", j, l, in.I)
+			}
+		}
+	}
+	if req.AccessDelay != nil {
+		if len(req.AccessDelay) != in.J {
+			return fmt.Errorf("len(accessDelay)=%d, want %d", len(req.AccessDelay), in.J)
+		}
+		for j, v := range req.AccessDelay {
+			if !(v >= 0) || math.IsInf(v, 0) {
+				return fmt.Errorf("accessDelay[%d]=%g must be finite and nonnegative", j, v)
+			}
+		}
+	}
+	if req.OpPrice != nil {
+		copy(in.OpPrice[t], req.OpPrice)
+	}
+	if req.Attach != nil {
+		copy(in.Attach[t], req.Attach)
+	}
+	if req.AccessDelay != nil {
+		copy(in.AccessDelay[t], req.AccessDelay)
+	}
+	return nil
+}
+
+// recordSlot folds the slot's decision into the session bookkeeping and
+// builds the response. Called under stepMu; x is the owned decision
+// returned by StepCtx.
+func (sess *session) recordSlot(t int, x model.Alloc, now time.Time) *slotResponse {
+	in := sess.inst
+	prev := in.InitialAlloc()
+	if t > 0 {
+		prev = sess.sched[t-1]
+	}
+	op, sq := in.SlotStatic(t, x)
+	rc, mg := in.SlotDynamic(prev, x)
+	slotB := model.Breakdown{Op: op, Sq: sq, Rc: rc, Mg: mg}
+	slotTotal := in.Total(slotB)
+
+	sess.mu.Lock()
+	sess.sched = append(sess.sched, x)
+	sess.next = t + 1
+	sess.done = sess.next == in.T
+	sess.costs.Add(slotB)
+	sess.total += slotTotal
+	sess.lastDiag = sess.alg.LastStepDiag()
+	sess.lastUsed = now
+	resp := &slotResponse{
+		Session: sess.id,
+		Slot:    t,
+		Done:    sess.done,
+		Cost: slotCost{
+			Op: op, Sq: sq, Rc: rc, Mg: mg,
+			SlotTotal: slotTotal,
+			RunTotal:  sess.total,
+		},
+		Solve: diagDTO(sess.lastDiag),
+	}
+	sess.mu.Unlock()
+	return resp
+}
+
+// finish runs the paper-conformance oracle over the completed schedule,
+// cross-checking the dual certificate and Theorem-2 ratio. Findings are
+// recorded as metrics and structured log lines; the session itself stays
+// queryable either way. Called under stepMu on the final slot.
+func (sess *session) finish() *conformSummary {
+	diag := &conform.Diagnostics{RatioBound: sess.alg.CompetitiveRatioBound()}
+	if cert, err := sess.alg.Certificate(); err == nil {
+		diag.HasCertificate = true
+		diag.LowerBoundP0 = cert.LowerBoundP0()
+		diag.LowerBoundP1 = cert.LowerBoundP1()
+		diag.DualResidual = cert.Feasibility.Max()
+		diag.NuCharge = cert.NuCharge
+	}
+	report := conform.Check(sess.inst, sess.sched, diag, conform.Options{})
+	summary := &conformSummary{
+		OK:           report.OK(),
+		RatioBound:   diag.RatioBound,
+		LowerBoundP0: diag.LowerBoundP0,
+	}
+	if counts := report.Counts(); counts != nil {
+		summary.Violations = make(map[string]int, len(counts))
+		for kind, n := range counts {
+			summary.Violations[string(kind)] = n
+			for k := 0; k < n; k++ {
+				sess.srv.solver.CountViolation(string(kind))
+			}
+		}
+		report.Log(sess.srv.log, "session "+sess.id)
+	}
+	sess.mu.Lock()
+	sess.summary = summary
+	sess.mu.Unlock()
+	return summary
+}

@@ -7,12 +7,14 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
 	"edgealloc/internal/conform"
 	"edgealloc/internal/core"
 	"edgealloc/internal/model"
+	"edgealloc/internal/telemetry"
 )
 
 // Algorithm is any allocation policy: given a validated instance it
@@ -80,6 +82,16 @@ type Options struct {
 	// Conform tunes the oracle's tolerances; zero values take the
 	// conform package defaults.
 	Conform conform.Options
+	// Metrics optionally records run-level telemetry — completed runs,
+	// Solve latency, and conformance-oracle findings by kind — into the
+	// same instrument bundle the per-slot solver hooks use, so batch CLIs
+	// and the serving daemon expose one metric namespace. Nil records
+	// nothing.
+	Metrics *telemetry.SolverMetrics
+	// Logger optionally receives one structured warning line per
+	// conformance violation (the findings are also returned as the
+	// wrapped error). Nil logs nothing.
+	Logger *slog.Logger
 }
 
 // Execute runs the algorithm with default options: the schedule is
@@ -102,6 +114,7 @@ func ExecuteOpts(in *model.Instance, alg Algorithm, opts Options) (*Run, error) 
 	// Elapsed covers Solve only; verification and evaluation below are
 	// timed separately into EvalElapsed.
 	elapsed := time.Since(start)
+	opts.Metrics.ObserveRun(elapsed.Seconds())
 	evalStart := time.Now()
 	var report *conform.Report
 	if opts.SkipConformance {
@@ -111,6 +124,15 @@ func ExecuteOpts(in *model.Instance, alg Algorithm, opts Options) (*Run, error) 
 	} else {
 		report = conform.Check(in, sched, diagnose(alg), opts.Conform)
 		if err := report.Err(); err != nil {
+			// Surface the findings through telemetry and structured logs
+			// before failing the run: a scrape shows which guarantee broke
+			// even when the caller only sees the wrapped error.
+			for kind, n := range report.Counts() {
+				for k := 0; k < n; k++ {
+					opts.Metrics.CountViolation(string(kind))
+				}
+			}
+			report.Log(opts.Logger, alg.Name())
 			return nil, fmt.Errorf("sim: %s failed conformance: %w", alg.Name(), err)
 		}
 	}

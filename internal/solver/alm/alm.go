@@ -14,6 +14,7 @@
 package alm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -139,6 +140,15 @@ type Options struct {
 	// may alias the previous Result's slices. A workspace must not be
 	// shared between concurrent solves.
 	Workspace *Workspace
+	// Ctx optionally makes the solve cancellable. It is polled between
+	// FISTA sweeps (once per inner iteration and once per outer multiplier
+	// update); when it fires, Solve returns an error wrapping ctx.Err().
+	// The workspace buffers may hold a partial iterate afterwards, but the
+	// caller-supplied WarmX/WarmDuals slices are never written, so warm
+	// state owned by the caller survives a cancelled solve intact. Nil
+	// means never cancelled. Polling does not perturb the math: results
+	// are bitwise identical to an uncancelled run.
+	Ctx context.Context
 }
 
 // Workspace holds the primal iterate, multiplier, and row-activity
@@ -294,7 +304,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	if p.numRows() == 0 {
 		inner, err := fista.Minimize(p.Obj, x, fista.Options{
 			MaxIters: innerIters, Tol: objTol, Lower: p.Lower, Upper: p.Upper,
-			Workspace: &ws.inner,
+			Workspace: &ws.inner, Ctx: opts.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -312,11 +322,16 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	prevViol := math.Inf(1)
 	innerTol := 1e-5
 	for outer := 0; outer < maxOuter; outer++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("alm: aborted at outer iteration %d: %w", outer, err)
+			}
+		}
 		res.Outer = outer + 1
 		lag.rho = rho
 		inner, err := fista.Minimize(lag, x, fista.Options{
 			MaxIters: innerIters, Tol: innerTol, Lower: p.Lower, Upper: p.Upper,
-			Workspace: &ws.inner,
+			Workspace: &ws.inner, Ctx: opts.Ctx,
 		})
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@
 package fista
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -51,6 +52,15 @@ type Options struct {
 	// only valid until the next Minimize call with the same workspace.
 	// A workspace must not be shared between concurrent solves.
 	Workspace *Workspace
+	// Ctx optionally makes the iteration cancellable: it is polled once
+	// per accelerated iteration (between objective sweeps, never inside
+	// one) and Minimize returns an error wrapping ctx.Err() when it fires.
+	// The workspace is left in a consistent-but-partial state; warm state
+	// retained by callers (their own copies of iterates and multipliers)
+	// is untouched because Minimize never writes through x0. Nil means
+	// never cancelled. Polling does not perturb the math: results are
+	// bitwise identical to an uncancelled run.
+	Ctx context.Context
 }
 
 // Workspace holds the iterate, momentum, trial, and gradient buffers of a
@@ -167,6 +177,11 @@ func Minimize(obj Objective, x0 []float64, opts Options) (*Result, error) {
 	stagnant := 0 // consecutive iterations with negligible objective change
 
 	for it := 0; it < maxIters; it++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("fista: aborted after %d iterations: %w", it, err)
+			}
+		}
 		res.Iters = it + 1
 		fy := obj.Eval(y, grad)
 		res.FuncEvals++

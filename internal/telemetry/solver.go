@@ -1,0 +1,119 @@
+package telemetry
+
+import "strconv"
+
+// SolverMetrics is the canonical instrument bundle for the allocation
+// pipeline. Both the serving daemon (internal/serve) and the batch CLIs
+// (edgesim, edgebench) build it from the same constructor, so a scrape of
+// either reports the same metric names (documented in DESIGN.md §9):
+//
+//	edgealloc_solver_step_seconds              histogram  per-slot P2 solve latency
+//	edgealloc_solver_steps_total               counter    slots solved
+//	edgealloc_solver_steps_nonconverged_total  counter    slots where ALM hit MaxOuter
+//	edgealloc_solver_alm_outer_iterations_total    counter  ALM multiplier updates
+//	edgealloc_solver_fista_iterations_total        counter  inner FISTA iterations
+//	edgealloc_solver_candidate_rounds_total        counter  candidate-set solves (≥1/slot)
+//	edgealloc_solver_candidate_expanded_pairs_total counter pairs re-admitted by pricing
+//	edgealloc_solver_candidate_nnz                 gauge    Σ_j|K_j| of the last certified solve
+//	edgealloc_cloud_utilization{cloud=i}           gauge    Σ_j x_{i,j,t}/C_i at the last solved slot
+//	edgealloc_conform_violations_total{kind=k}     counter  oracle findings by guarantee kind
+//	edgealloc_sim_runs_total                       counter  completed harness runs
+//	edgealloc_sim_solve_seconds                    histogram full-horizon Solve latency
+//
+// All methods are nil-safe: a nil *SolverMetrics records nothing, so the
+// hot paths hook unconditionally and pay one pointer test when telemetry
+// is off.
+type SolverMetrics struct {
+	StepLatency  *Histogram
+	Steps        *Counter
+	NonConverged *Counter
+	OuterIters   *Counter
+	InnerIters   *Counter
+	CandRounds   *Counter
+	CandExpanded *Counter
+	CandNNZ      *Gauge
+	CloudUtil    *GaugeVec
+	ConformViol  *CounterVec
+	SimRuns      *Counter
+	SimSolveHist *Histogram
+}
+
+// NewSolverMetrics registers the bundle on r.
+func NewSolverMetrics(r *Registry) *SolverMetrics {
+	return &SolverMetrics{
+		StepLatency: r.Histogram("edgealloc_solver_step_seconds",
+			"Per-slot P2 solve latency in seconds.", nil),
+		Steps: r.Counter("edgealloc_solver_steps_total",
+			"Slots solved by the online algorithm."),
+		NonConverged: r.Counter("edgealloc_solver_steps_nonconverged_total",
+			"Slots whose ALM solve stopped at the outer-iteration cap."),
+		OuterIters: r.Counter("edgealloc_solver_alm_outer_iterations_total",
+			"ALM outer (multiplier-update) iterations."),
+		InnerIters: r.Counter("edgealloc_solver_fista_iterations_total",
+			"Inner FISTA iterations across all subproblems."),
+		CandRounds: r.Counter("edgealloc_solver_candidate_rounds_total",
+			"Candidate-set reduced solves (rounds beyond one per slot are pricing expansions)."),
+		CandExpanded: r.Counter("edgealloc_solver_candidate_expanded_pairs_total",
+			"(cloud,user) pairs re-admitted by the dual pricing pass."),
+		CandNNZ: r.Gauge("edgealloc_solver_candidate_nnz",
+			"Packed variable count of the most recent certified candidate solve."),
+		CloudUtil: r.GaugeVec("edgealloc_cloud_utilization",
+			"Per-cloud utilization sum_j x_ij / C_i at the most recent solved slot.", "cloud"),
+		ConformViol: r.CounterVec("edgealloc_conform_violations_total",
+			"Paper-conformance oracle findings by guarantee kind.", "kind"),
+		SimRuns: r.Counter("edgealloc_sim_runs_total",
+			"Completed simulation-harness runs."),
+		SimSolveHist: r.Histogram("edgealloc_sim_solve_seconds",
+			"Full-horizon Solve latency of harness runs in seconds.", nil),
+	}
+}
+
+// ObserveStep records one per-slot solve: latency, iteration counts, and
+// convergence.
+func (m *SolverMetrics) ObserveStep(seconds float64, outer, inner int, converged bool) {
+	if m == nil {
+		return
+	}
+	m.StepLatency.Observe(seconds)
+	m.Steps.Inc()
+	m.OuterIters.Add(float64(outer))
+	m.InnerIters.Add(float64(inner))
+	if !converged {
+		m.NonConverged.Inc()
+	}
+}
+
+// ObserveCandidates records the candidate-set work of one slot.
+func (m *SolverMetrics) ObserveCandidates(rounds, expandedPairs, finalNNZ int) {
+	if m == nil {
+		return
+	}
+	m.CandRounds.Add(float64(rounds))
+	m.CandExpanded.Add(float64(expandedPairs))
+	m.CandNNZ.Set(float64(finalNNZ))
+}
+
+// SetCloudUtilization records cloud i's utilization at the latest slot.
+func (m *SolverMetrics) SetCloudUtilization(cloud int, util float64) {
+	if m == nil {
+		return
+	}
+	m.CloudUtil.With(strconv.Itoa(cloud)).Set(util)
+}
+
+// CountViolation tallies one conformance-oracle finding of the given kind.
+func (m *SolverMetrics) CountViolation(kind string) {
+	if m == nil {
+		return
+	}
+	m.ConformViol.With(kind).Inc()
+}
+
+// ObserveRun records one completed harness run.
+func (m *SolverMetrics) ObserveRun(solveSeconds float64) {
+	if m == nil {
+		return
+	}
+	m.SimRuns.Inc()
+	m.SimSolveHist.Observe(solveSeconds)
+}

@@ -1,0 +1,366 @@
+// Package telemetry is the runtime observability layer shared by the
+// serving daemon (cmd/edged) and the batch CLIs: lock-light counters,
+// gauges, and histograms collected in a Registry and exposed in both
+// Prometheus text format and an expvar-style JSON document.
+//
+// The package is deliberately dependency-free (stdlib only) and cheap on
+// the hot path: counters and gauges are single atomic words, histogram
+// observations touch one atomic bucket plus an atomic sum, and nothing
+// allocates after instrument creation. Solver code records through the
+// nil-safe SolverMetrics bundle (solver.go), so an unconfigured pipeline
+// pays only a nil check per event.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 with atomic load/store/add via its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates v with a compare-and-swap loop (floats have no atomic
+// add primitive).
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add accumulates v; negative deltas are ignored to keep the counter
+// monotone (a counter that can go down is a gauge).
+func (c *Counter) Add(v float64) {
+	if v > 0 {
+		c.v.Add(v)
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the current value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add accumulates a (possibly negative) delta.
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution with a running sum and count,
+// exposed in Prometheus cumulative-bucket form.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≲20) and the first buckets are
+	// the hot ones for latencies, so this beats a binary search in practice.
+	for k, ub := range h.bounds {
+		if v <= ub {
+			h.counts[k].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DefBuckets covers solve latencies from sub-millisecond to a minute.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// kind tags a family's instrument type for exposition.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with zero or one label dimension. Unlabeled
+// instruments live in series[""].
+type family struct {
+	name, help string
+	kind       kind
+	label      string    // label key, "" for unlabeled families
+	buckets    []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]any // label value -> *Counter | *Gauge | *Histogram
+}
+
+// get returns the series for one label value, creating it on first use.
+func (f *family) get(labelValue string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[labelValue]; ok {
+		return s
+	}
+	var s any
+	switch f.kind {
+	case kindCounter:
+		s = &Counter{}
+	case kindGauge:
+		s = &Gauge{}
+	case kindHistogram:
+		s = &Histogram{
+			bounds: f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)),
+		}
+	}
+	f.series[labelValue] = s
+	return s
+}
+
+// sortedValues returns the label values in deterministic order.
+func (f *family) sortedValues() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	vals := make([]string, 0, len(f.series))
+	for v := range f.series {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// Registry collects metric families and renders them. The zero value is
+// not usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	ordered  []*family
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register returns the named family, creating it with the given shape or
+// panicking on a shape conflict — re-registering a name as a different
+// kind is a programming error no caller can meaningfully handle.
+func (r *Registry) register(name, help string, k kind, label string, buckets []float64) *family {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || f.label != label {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s(label=%q), was %s(label=%q)",
+				name, k, label, f.kind, f.label))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, label: label,
+		buckets: buckets, series: map[string]any{}}
+	r.families[name] = f
+	r.ordered = append(r.ordered, f)
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, "", nil).get("").(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, "", nil).get("").(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram; nil buckets
+// take DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, kindHistogram, "", buckets).get("").(*Histogram)
+}
+
+// CounterVec registers a counter family with one label dimension.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, label, nil)}
+}
+
+// GaugeVec registers a gauge family with one label dimension.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, label, nil)}
+}
+
+// CounterVec is a counter family keyed by one label value.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(labelValue string) *Counter { return v.f.get(labelValue).(*Counter) }
+
+// GaugeVec is a gauge family keyed by one label value.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(labelValue string) *Gauge { return v.f.get(labelValue).(*Gauge) }
+
+// snapshot returns the families in registration order.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.ordered...)
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), with deterministic family and label ordering.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, lv := range f.sortedValues() {
+			sel := ""
+			if f.label != "" {
+				sel = fmt.Sprintf("{%s=%q}", f.label, lv)
+			}
+			switch s := f.get(lv).(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, sel, formatFloat(s.Value()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, sel, formatFloat(s.Value()))
+			case *Histogram:
+				writePromHistogram(&b, f, sel, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets,
+// the implicit +Inf bucket, then sum and count.
+func writePromHistogram(b *strings.Builder, f *family, sel string, h *Histogram) {
+	// The bucket label composes with the family label, so build the
+	// le-selector accordingly.
+	leSel := func(le string) string {
+		if sel == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return sel[:len(sel)-1] + fmt.Sprintf(",le=%q}", le)
+	}
+	cum := uint64(0)
+	for k, ub := range h.bounds {
+		cum += h.counts[k].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, leSel(formatFloat(ub)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, leSel("+Inf"), h.Count())
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, sel, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, sel, h.Count())
+}
+
+// formatFloat renders a metric value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteJSON renders every family as one flat expvar-style JSON object:
+// counters and gauges map name (plus ".label" for labeled series) to the
+// value; histograms map to {count, sum, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := map[string]any{}
+	for _, f := range r.snapshot() {
+		for _, lv := range f.sortedValues() {
+			key := f.name
+			if f.label != "" {
+				key = f.name + "." + lv
+			}
+			switch s := f.get(lv).(type) {
+			case *Counter:
+				doc[key] = s.Value()
+			case *Gauge:
+				doc[key] = s.Value()
+			case *Histogram:
+				buckets := map[string]uint64{}
+				cum := uint64(0)
+				for k, ub := range s.bounds {
+					cum += s.counts[k].Load()
+					buckets[formatFloat(ub)] = cum
+				}
+				buckets["+Inf"] = s.Count()
+				doc[key] = map[string]any{
+					"count": s.Count(), "sum": s.Sum(), "buckets": buckets,
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the registry: Prometheus text by default, the JSON
+// document with ?format=json (or an Accept header preferring JSON).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -19,6 +19,8 @@ internal/solver/par 95
 internal/solver/simplex 90
 internal/solver/smooth 95
 internal/solver/transport 95
+internal/serve 80
+internal/telemetry 90
 '
 
 status=0
