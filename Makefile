@@ -57,6 +57,8 @@ fuzz:
 	done
 	@echo "== FuzzInstanceDecode ($(FUZZTIME)) =="
 	@$(GO) test -run '^$$' -fuzz '^FuzzInstanceDecode$$' -fuzztime $(FUZZTIME) ./internal/model/
+	@echo "== FuzzFastMathVsStdlib ($(FUZZTIME)) =="
+	@$(GO) test -run '^$$' -fuzz '^FuzzFastMathVsStdlib$$' -fuzztime $(FUZZTIME) ./internal/numkernel/
 
 # Coverage with per-package floors on the guarantee-bearing packages
 # (scripts/cover.sh; floors recorded in DESIGN.md §8).

@@ -1,12 +1,15 @@
-// Command corpusgen regenerates the committed fuzz seed-corpus files for
-// FuzzInstanceDecode: real encoded instances (toy, generated, and
-// Rome-derived) in the `go test fuzz v1` corpus format.
+// Command corpusgen regenerates the committed fuzz seed-corpus files, in
+// the `go test fuzz v1` corpus format: real encoded instances (toy,
+// generated, and Rome-derived) for FuzzInstanceDecode, and the float64
+// boundary operands for the fast-math differential fuzz
+// FuzzFastMathVsStdlib.
 package main
 
 import (
 	"bytes"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -16,6 +19,11 @@ import (
 )
 
 func main() {
+	writeInstanceCorpus()
+	writeFastMathCorpus()
+}
+
+func writeInstanceCorpus() {
 	dir := filepath.Join("internal", "model", "testdata", "fuzz", "FuzzInstanceDecode")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
@@ -48,6 +56,41 @@ func main() {
 	for name, body := range adversarial {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("corpus written to", dir)
+}
+
+// writeFastMathCorpus pins the boundary operands of the batch fast-math
+// kernels: exact powers of two (where the log reduction's exponent split
+// lands on a bucket edge), the neighbors of 1 (where the log table pins
+// c=1 against cancellation), subnormals and the extremes of the finite
+// range, the exp over/underflow edges, and the non-finite specials. Each
+// file is an (xb, yb) bit pair: xb feeds the log kernels, yb feeds exp.
+func writeFastMathCorpus() {
+	dir := filepath.Join("internal", "numkernel", "testdata", "fuzz", "FuzzFastMathVsStdlib")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	seeds := map[string][2]uint64{
+		"seed-one":           {math.Float64bits(1), math.Float64bits(1)},
+		"seed-one-next":      {math.Float64bits(math.Nextafter(1, 2)), math.Float64bits(0.5)},
+		"seed-one-prev":      {math.Float64bits(math.Nextafter(1, 0)), math.Float64bits(-0.5)},
+		"seed-sqrt2-over-2":  {math.Float64bits(math.Sqrt2 / 2), math.Float64bits(1)},
+		"seed-pow2":          {math.Float64bits(0x1p-30), math.Float64bits(30 * math.Ln2)},
+		"seed-min-subnormal": {1, math.Float64bits(-745.2)},
+		"seed-min-normal":    {math.Float64bits(0x1p-1022), math.Float64bits(709.7)},
+		"seed-max-float":     {math.Float64bits(math.MaxFloat64), math.Float64bits(709.8)},
+		"seed-exp-edges":     {math.Float64bits(2), 0x40862e42fefa39ef}, // exp overflow edge
+		"seed-exp-under":     {math.Float64bits(3), 0xc086232bdd7abcd2}, // exp underflow edge
+		"seed-negative":      {math.Float64bits(-1), math.Float64bits(-0x1p-40)},
+		"seed-inf-nan":       {math.Float64bits(math.Inf(1)), math.Float64bits(math.NaN())},
+		"seed-neg-inf":       {math.Float64bits(math.Inf(-1)), math.Float64bits(math.Inf(-1))},
+	}
+	for name, bits := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\nuint64(%d)\nuint64(%d)\n", bits[0], bits[1])
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -43,6 +43,10 @@ func run() int {
 		workers    = flag.Int("workers", 0, "concurrent (row, rep, algorithm) runs (0 = all CPUs); results are identical for any value")
 		candidates = flag.Int("candidates", 0,
 			"per-user candidate-set size for the paper's algorithm in the ablations (0 = full variable space; any value is certified equal to the full solve)")
+		fastmath = flag.Bool("fastmath", false,
+			"evaluate the paper algorithm's entropy terms with the batch fast-math kernels (costs agree with the exact path to 1e-8; not bitwise-reproducible against it)")
+		fastmath32 = flag.Bool("fastmath32", false,
+			"with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
 		benchjson = flag.String("benchjson", "",
 			"run the solver microbenchmarks and write machine-readable JSON to this file (e.g. BENCH_solver.json), skipping the ablations")
 		benchdiff = flag.String("benchdiff", "",
@@ -97,6 +101,10 @@ func run() int {
 		}
 		rows := perf.Diff(base, perf.RunAll(*scale))
 		perf.WriteDiffTable(os.Stdout, rows)
+		if missing := perf.MissingBaselines(rows); len(missing) > 0 {
+			return fail(fmt.Errorf("%d kernel(s) have no baseline in %s: %v — regenerate it with -benchjson",
+				len(missing), *benchdiff, missing))
+		}
 		if regs := perf.Regressions(rows, regressionThreshold); len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "edgebench: %d kernel(s) regressed vs %s (more than %.0f%% ns/op, or allocs/op past the gate)\n",
 				len(regs), *benchdiff, 100*regressionThreshold)
@@ -108,12 +116,14 @@ func run() int {
 	}
 
 	p := experiments.Params{
-		Users:      *users,
-		Horizon:    *horizon,
-		Reps:       *reps,
-		Seed:       *seed,
-		Workers:    *workers,
-		Candidates: *candidates,
+		Users:       *users,
+		Horizon:     *horizon,
+		Reps:        *reps,
+		Seed:        *seed,
+		Workers:     *workers,
+		Candidates:  *candidates,
+		FastMath:    *fastmath,
+		FastMathF32: *fastmath32,
 	}
 	studies := []string{*ablation}
 	if *ablation == "all" {

@@ -37,6 +37,8 @@ func run(args []string, errw io.Writer) int {
 		sessionTTL  = fs.Duration("session-ttl", 15*time.Minute, "evict sessions idle this long")
 		stepTimeout = fs.Duration("step-timeout", 2*time.Minute, "per-slot solve deadline")
 		drainWait   = fs.Duration("drain-wait", 30*time.Second, "shutdown grace for in-flight slots")
+		fastmath    = fs.Bool("fastmath", false, "solve every session with the batch fast-math entropy kernels (costs agree with the exact path to 1e-8)")
+		fastmath32  = fs.Bool("fastmath32", false, "with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
 		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +58,8 @@ func run(args []string, errw io.Writer) int {
 		MaxSessions:  *maxSessions,
 		SessionTTL:   *sessionTTL,
 		StepTimeout:  *stepTimeout,
+		FastMath:     *fastmath,
+		FastMathF32:  *fastmath32,
 		Logger:       log,
 	})
 

@@ -65,6 +65,22 @@ type Options struct {
 	// pruned pairs priced below −CandidateTol·(1+|ā_ij|) rejoin the
 	// problem. Only meaningful with Candidates > 0.
 	CandidateTol float64
+	// FastMath routes the entropy hot loop through the batch kernels of
+	// internal/numkernel: the per-variable migration logs are computed a
+	// row at a time (ratio gather → LogBatch → accumulate) with the
+	// denominator reciprocals precomputed once per slot, instead of the
+	// default per-element divide + math.Log + memo cache. Each kernel
+	// operation is within 1e-12 relative of the stdlib, and end-to-end
+	// schedule costs agree with the exact path to 1e-8 (pinned by
+	// property tests and the conformance oracle); the trade is bitwise
+	// reproducibility against the default path. Off by default.
+	FastMath bool
+	// FastMathF32 additionally stores the J-wide ratio and reciprocal
+	// scratch vectors of the fast path in float32, halving the memory
+	// bandwidth of the entropy passes at large J; the accumulation stays
+	// float64. Log accuracy drops to the float32 tier (≤1e-6 relative
+	// per operation). Implies FastMath.
+	FastMathF32 bool
 	// Metrics optionally records per-slot solver telemetry (solve latency,
 	// ALM/FISTA iteration counts, candidate-set expansion work, per-cloud
 	// utilization) into the shared instrument bundle. Nil records nothing;
@@ -93,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CandidateTol <= 0 {
 		o.CandidateTol = 1e-7
+	}
+	if o.FastMathF32 {
+		o.FastMath = true
 	}
 	return o
 }
@@ -169,6 +188,12 @@ type StepDiag struct {
 	// path (zero when Options.Candidates is off): reduced solves, pairs
 	// re-admitted by pricing, and the certified solve's packed size.
 	CandRounds, CandExpanded, CandNNZ int
+	// LogCacheHits and LogCacheMisses count the slot's migration-log
+	// memo-cache outcomes on the exact evaluation path (hits are logs
+	// reused without recomputation; the zero-flow skip is counted by
+	// neither). Both are zero under Options.FastMath, which replaces the
+	// cache with batch kernels.
+	LogCacheHits, LogCacheMisses int64
 }
 
 // NewOnlineApprox prepares a run over a validated instance. A nil
@@ -216,6 +241,9 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 	if o.obj == nil {
 		o.obj = newP2ObjectiveConst(in, o.opts.Epsilon1, o.opts.Epsilon2)
 		o.obj.workers = o.opts.Solver.Workers
+		if o.opts.FastMath {
+			o.obj.enableFast(o.opts.FastMathF32)
+		}
 		switch {
 		case o.opts.Candidates > 0:
 			o.initSparse(in)
@@ -329,10 +357,14 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 		d.CandRounds = s.Rounds - statsBefore.Rounds
 		d.CandExpanded = s.Expanded - statsBefore.Expanded
 		d.CandNNZ = s.FinalNNZ
+		d.LogCacheHits, d.LogCacheMisses = o.sparse.obj.logCacheTotals()
+	} else {
+		o.lastDiag.LogCacheHits, o.lastDiag.LogCacheMisses = o.obj.logCacheTotals()
 	}
 	if m := o.opts.Metrics; m != nil {
 		d := o.lastDiag
 		m.ObserveStep(d.Seconds, d.Outer, d.Inner, d.Converged)
+		m.ObserveLogCache(d.LogCacheHits, d.LogCacheMisses)
 		if o.sparse != nil {
 			m.ObserveCandidates(d.CandRounds, d.CandExpanded, d.CandNNZ)
 		}
@@ -492,6 +524,23 @@ type p2Objective struct {
 
 	rowF []float64 // per-cloud partial objective values
 
+	// hitRow/missRow count per-cloud log-cache outcomes; per-row slots
+	// keep the counting race-free and deterministic under the parallel
+	// evaluation path, exactly like rowF. bind resets them each slot.
+	hitRow  []int64
+	missRow []int64
+
+	// Fast-math tier (Options.FastMath): fast selects the batch-kernel
+	// evaluation path, invDen holds the per-slot reciprocals
+	// 1/(x'_{ij}+ε₂) and ratio is the row-sliced log scratch. The *32
+	// pair replaces invDen/ratio under Options.FastMathF32. The exact
+	// path leaves all of these nil.
+	fast     bool
+	invDen   []float64
+	ratio    []float64
+	invDen32 []float32
+	ratio32  []float32
+
 	// lastNum/lastLg2 memoize the migration-term log per variable: the
 	// solver evaluates the objective thousands of times per slot, and late
 	// in a solve most entries are static across evaluations (converged, or
@@ -521,6 +570,8 @@ func newP2ObjectiveConst(in *model.Instance, eps1, eps2 float64) *p2Objective {
 		eps1:    eps1,
 		eps2:    eps2,
 		rowF:    make([]float64, in.I),
+		hitRow:  make([]int64, in.I),
+		missRow: make([]int64, in.I),
 		lastNum: make([]float64, in.I*in.J),
 		lastLg2: make([]float64, in.I*in.J),
 	}
@@ -536,15 +587,53 @@ func newP2ObjectiveConst(in *model.Instance, eps1, eps2 float64) *p2Objective {
 	return o
 }
 
+// enableFast switches the objective onto the batch-kernel path
+// (Options.FastMath), allocating the reciprocal and ratio scratch in the
+// requested storage width. Call before the first bind.
+func (o *p2Objective) enableFast(f32 bool) {
+	o.fast = true
+	if f32 {
+		o.invDen32 = make([]float32, o.nI*o.nJ)
+		o.ratio32 = make([]float32, o.nI*o.nJ)
+		return
+	}
+	o.invDen = make([]float64, o.nI*o.nJ)
+	o.ratio = make([]float64, o.nI*o.nJ)
+}
+
 // bind points the objective at slot t's prices and the previous decision,
 // reusing the cached buffers.
 func (o *p2Objective) bind(in *model.Instance, t int, prev model.Alloc) {
 	in.StaticCoeffInto(t, o.coef)
 	o.prev = prev.X
 	prev.CloudTotalsInto(o.prevTot)
-	for k := range o.lastNum {
-		o.lastNum[k] = math.NaN() // never equal: invalidate the log cache
+	if o.fast {
+		// The fast path divides once per slot here instead of once per
+		// element per evaluation; the memo cache is unused.
+		if o.invDen32 != nil {
+			entropyInvDen32(o.invDen32, o.prev, o.eps2)
+		} else {
+			entropyInvDen(o.invDen, o.prev, o.eps2)
+		}
+	} else {
+		for k := range o.lastNum {
+			o.lastNum[k] = math.NaN() // never equal: invalidate the log cache
+		}
 	}
+	for i := range o.hitRow {
+		o.hitRow[i] = 0
+		o.missRow[i] = 0
+	}
+}
+
+// logCacheTotals sums the per-row cache counters accumulated since the
+// last bind.
+func (o *p2Objective) logCacheTotals() (hits, misses int64) {
+	for i := range o.hitRow {
+		hits += o.hitRow[i]
+		misses += o.missRow[i]
+	}
+	return hits, misses
 }
 
 func newP2Objective(in *model.Instance, t int, prev model.Alloc, eps1, eps2 float64) *p2Objective {
@@ -585,18 +674,21 @@ func (o *p2Objective) evalRows(x, grad []float64, lo, hi int) {
 // per-element branch, with the row slices hoisted for bounds-check
 // elimination.
 func (o *p2Objective) evalRow(i int, x, grad []float64) float64 {
+	if o.fast {
+		return o.evalRowFast(i, x, grad)
+	}
 	base := i * o.nJ
 	row := x[base : base+o.nJ]
 	coef := o.coef[base : base+o.nJ]
 	prev := o.prev[base : base+o.nJ]
 	mgFac := o.mgFac[base : base+o.nJ]
-	eps2 := o.eps2
 	// Migration regularizer per (cloud, user). Most variables sit where
 	// the iterate equals the previous decision (typically both at the zero
 	// bound: a user is served by few clouds), making the ratio exactly 1
 	// and the log exactly 0 — skipping the division and math.Log there is
 	// bitwise identical and removes the transcendental cost from the
-	// (i, j) pairs that carry no flow.
+	// (i, j) pairs that carry no flow. The term-by-term loops live in
+	// entropy.go, shared with the packed candidate-set path.
 	lastNum := o.lastNum[base : base+o.nJ]
 	lastLg2 := o.lastLg2[base : base+o.nJ]
 	if grad == nil {
@@ -604,23 +696,9 @@ func (o *p2Objective) evalRow(i int, x, grad []float64) float64 {
 		// total feeds only the reconfiguration term, so it is accumulated
 		// alongside the element terms in a single pass and the
 		// reconfiguration regularizer is added at the end.
-		s, f := 0.0, 0.0
-		for j, v := range row {
-			s += v
-			f += coef[j] * v
-			num, den := v+eps2, prev[j]+eps2
-			var lg2 float64
-			if num != den {
-				if num == lastNum[j] {
-					lg2 = lastLg2[j]
-				} else {
-					lg2 = math.Log(num / den)
-					lastNum[j] = num
-					lastLg2[j] = lg2
-				}
-			}
-			f += mgFac[j] * (num*lg2 - v)
-		}
+		s, f, hits, misses := entropyRowValue(row, coef, prev, mgFac, lastNum, lastLg2, o.eps2)
+		o.hitRow[i] += hits
+		o.missRow[i] += misses
 		lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
 		return f + o.rcFac[i]*((s+o.eps1)*lg-s)
 	}
@@ -631,25 +709,45 @@ func (o *p2Objective) evalRow(i int, x, grad []float64) float64 {
 	// Reconfiguration regularizer on the cloud total.
 	lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
 	f := o.rcFac[i] * ((s+o.eps1)*lg - s)
-	g := grad[base : base+o.nJ]
-	rc := o.rcFac[i] * lg
-	for j, v := range row {
-		f += coef[j] * v
-		num, den := v+eps2, prev[j]+eps2
-		var lg2 float64
-		if num != den {
-			if num == lastNum[j] {
-				lg2 = lastLg2[j]
-			} else {
-				lg2 = math.Log(num / den)
-				lastNum[j] = num
-				lastLg2[j] = lg2
-			}
-		}
-		f += mgFac[j] * (num*lg2 - v)
-		g[j] = coef[j] + rc + mgFac[j]*lg2
-	}
+	f, hits, misses := entropyRowGrad(row, coef, prev, mgFac, lastNum, lastLg2,
+		grad[base:base+o.nJ], o.eps2, f, o.rcFac[i]*lg)
+	o.hitRow[i] += hits
+	o.missRow[i] += misses
 	return f
+}
+
+// evalRowFast is evalRow on the batch-kernel tier (Options.FastMath):
+// one fused sum+gather pass, one in-place batch log over the row, one
+// accumulation pass. See entropy.go for the tier's accuracy contract.
+func (o *p2Objective) evalRowFast(i int, x, grad []float64) float64 {
+	base := i * o.nJ
+	row := x[base : base+o.nJ]
+	coef := o.coef[base : base+o.nJ]
+	mgFac := o.mgFac[base : base+o.nJ]
+	if o.ratio32 != nil {
+		ratio := o.ratio32[base : base+o.nJ]
+		s := entropyRatioPass32(row, o.invDen32[base:base+o.nJ], ratio, o.eps2)
+		logBatch32(ratio, ratio)
+		lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
+		if grad == nil {
+			f := entropyFastValue32(row, coef, mgFac, ratio, o.eps2)
+			return f + o.rcFac[i]*((s+o.eps1)*lg-s)
+		}
+		f := o.rcFac[i] * ((s+o.eps1)*lg - s)
+		return entropyFastGrad32(row, coef, mgFac, ratio,
+			grad[base:base+o.nJ], o.eps2, f, o.rcFac[i]*lg)
+	}
+	ratio := o.ratio[base : base+o.nJ]
+	s := entropyRatioPass(row, o.invDen[base:base+o.nJ], ratio, o.eps2)
+	logBatch(ratio, ratio)
+	lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
+	if grad == nil {
+		f := entropyFastValue(row, coef, mgFac, ratio, o.eps2)
+		return f + o.rcFac[i]*((s+o.eps1)*lg-s)
+	}
+	f := o.rcFac[i] * ((s+o.eps1)*lg - s)
+	return entropyFastGrad(row, coef, mgFac, ratio,
+		grad[base:base+o.nJ], o.eps2, f, o.rcFac[i]*lg)
 }
 
 // repair clips negative round-off and tops up any marginally under-served

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgealloc/internal/conform"
+	"edgealloc/internal/telemetry"
+)
+
+// TestFastMathMatchesExactSmallInstances is the cost-agreement property
+// of the batch-kernel tier: on random small instances solved ultra-tight,
+// the FastMath schedule must match the exact schedule's P2 objective to
+// 1e-8 relative, slot-coupled, on both the dense and the candidate-set
+// paths. The bound is the same one the candidate-set certification work
+// carries: it measures kernel error plus the difference of two solver
+// convergence errors, and ≤1e-12-per-operation kernels leave the solver
+// term dominant.
+func TestFastMathMatchesExactSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		in := smallRandomInstance(rng)
+		ref := Options{Solver: ultraTightOpts()}
+		fast := Options{Solver: ultraTightOpts(), FastMath: true}
+		for s, gap := range coupledPathGaps(t, in, ref, fast) {
+			if gap > 1e-8 {
+				t.Errorf("trial %d slot %d: dense fastmath gap %.3e > 1e-8", trial, s, gap)
+			}
+		}
+		refC := Options{Solver: ultraTightOpts(), Candidates: 2}
+		fastC := Options{Solver: ultraTightOpts(), Candidates: 2, FastMath: true}
+		for s, gap := range coupledPathGaps(t, in, refC, fastC) {
+			if gap > 1e-8 {
+				t.Errorf("trial %d slot %d: candidate fastmath gap %.3e > 1e-8", trial, s, gap)
+			}
+		}
+	}
+}
+
+// TestFastMathF32MatchesExact holds the float32 storage tier to 1e-5
+// slot-coupled cost agreement: per-operation log error grows to the
+// float32 budget (≤1e-6), and the convex objective turns first-order
+// gradient noise into a second-order cost perturbation, so the schedule
+// cost stays well inside 1e-5.
+func TestFastMathF32MatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 6; trial++ {
+		in := smallRandomInstance(rng)
+		ref := Options{Solver: ultraTightOpts()}
+		fast := Options{Solver: ultraTightOpts(), FastMathF32: true}
+		for s, gap := range coupledPathGaps(t, in, ref, fast) {
+			if gap > 1e-5 {
+				t.Errorf("trial %d slot %d: dense f32 gap %.3e > 1e-5", trial, s, gap)
+			}
+		}
+		refC := Options{Solver: ultraTightOpts(), Candidates: 2}
+		fastC := Options{Solver: ultraTightOpts(), Candidates: 2, FastMathF32: true}
+		for s, gap := range coupledPathGaps(t, in, refC, fastC) {
+			if gap > 1e-5 {
+				t.Errorf("trial %d slot %d: candidate f32 gap %.3e > 1e-5", trial, s, gap)
+			}
+		}
+	}
+}
+
+// TestFastMathConformance runs the full paper-conformance oracle on a
+// FastMath schedule: Theorem-1 feasibility, the Lemma-1 identity, dual
+// certificate validity, weak duality, and the Theorem-2 ratio must all
+// hold on the fast path exactly as they do on the exact path.
+func TestFastMathConformance(t *testing.T) {
+	for _, opts := range []Options{
+		{Solver: tightOpts(), FastMath: true},
+		{Solver: tightOpts(), Candidates: 2, FastMath: true},
+		{Solver: tightOpts(), FastMathF32: true},
+	} {
+		in := conform.GenInstance(conform.GenConfig{Seed: 11, I: 4, J: 6, T: 4})
+		alg := NewOnlineApprox(in, opts)
+		sched, err := alg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert, err := alg.Certificate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag := &conform.Diagnostics{
+			HasCertificate: true,
+			LowerBoundP0:   cert.LowerBoundP0(),
+			LowerBoundP1:   cert.LowerBoundP1(),
+			DualResidual:   cert.Feasibility.Max(),
+			NuCharge:       cert.NuCharge,
+			RatioBound:     alg.CompetitiveRatioBound(),
+		}
+		if rep := conform.Check(in, sched, diag, conform.Options{}); !rep.OK() {
+			t.Fatalf("candidates=%d f32=%v: %v", opts.Candidates, opts.FastMathF32, rep.Err())
+		}
+	}
+}
+
+// TestFastMathDeterministicAcrossWorkers pins the fast tier's own
+// reproducibility: FastMath changes results relative to the exact path,
+// but for a fixed configuration the schedule must stay byte-identical
+// for any worker count (per-row partials still reduce in index order).
+func TestFastMathDeterministicAcrossWorkers(t *testing.T) {
+	defer func(g int) { evalParGrain = g }(evalParGrain)
+	evalParGrain = 1
+	in := conform.GenInstance(conform.GenConfig{Seed: 5, I: 4, J: 5, T: 3})
+	run := func(workers int) []float64 {
+		opts := Options{Solver: tightOpts(), FastMath: true}
+		opts.Solver.Workers = workers
+		sched, err := NewOnlineApprox(in, opts).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flat []float64
+		for _, a := range sched {
+			flat = append(flat, a.X...)
+		}
+		return flat
+	}
+	base := run(1)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		for k := range base {
+			if math.Float64bits(got[k]) != math.Float64bits(base[k]) {
+				t.Fatalf("workers=%d: decision differs at %d: %g vs %g", w, k, got[k], base[k])
+			}
+		}
+	}
+}
+
+// TestLogCacheCounters checks the observability satellite: the exact
+// path must report memo-cache activity through StepDiag and the
+// telemetry bundle, and the fast path — which has no cache — must report
+// zero on the same instance.
+func TestLogCacheCounters(t *testing.T) {
+	in := conform.GenInstance(conform.GenConfig{Seed: 3, I: 3, J: 4, T: 3})
+
+	reg := telemetry.NewRegistry()
+	m := telemetry.NewSolverMetrics(reg)
+	exact := NewOnlineApprox(in, Options{Solver: tightOpts(), Metrics: m})
+	if _, err := exact.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := exact.LastStepDiag()
+	if d.LogCacheMisses == 0 {
+		t.Error("exact path: LogCacheMisses = 0, want > 0")
+	}
+	if d.LogCacheHits == 0 {
+		t.Error("exact path: LogCacheHits = 0, want > 0 (converged evals repeat arguments)")
+	}
+	if m.LogMisses.Value() == 0 || m.LogHits.Value() == 0 {
+		t.Errorf("telemetry counters hits=%v misses=%v, want both > 0",
+			m.LogHits.Value(), m.LogMisses.Value())
+	}
+
+	for _, cand := range []int{0, 2} {
+		fast := NewOnlineApprox(in, Options{Solver: tightOpts(), FastMath: true, Candidates: cand})
+		if _, err := fast.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if d := fast.LastStepDiag(); d.LogCacheHits != 0 || d.LogCacheMisses != 0 {
+			t.Errorf("candidates=%d fast path: cache counters %d/%d, want 0/0",
+				cand, d.LogCacheHits, d.LogCacheMisses)
+		}
+	}
+
+	// The candidate path's counters flow through the packed objective.
+	sparse := NewOnlineApprox(in, Options{Solver: tightOpts(), Candidates: 2})
+	if _, err := sparse.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.LastStepDiag(); d.LogCacheMisses == 0 {
+		t.Error("sparse exact path: LogCacheMisses = 0, want > 0")
+	}
+}
+
+// TestFastMathParallelMatchesSerial runs the dense fast path with the
+// parallel grain forced down, so par.Ranges evaluation covers the
+// batch-kernel rows too.
+func TestFastMathParallelMatchesSerial(t *testing.T) {
+	defer func(g int) { evalParGrain = g }(evalParGrain)
+	in := conform.GenInstance(conform.GenConfig{Seed: 9, I: 5, J: 6, T: 3})
+
+	evalParGrain = 4096
+	opts := Options{Solver: tightOpts(), FastMath: true}
+	serial, err := NewOnlineApprox(in, opts).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evalParGrain = 1
+	opts.Solver.Workers = 4
+	par, err := NewOnlineApprox(in, opts).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range serial {
+		for k := range serial[s].X {
+			if math.Float64bits(serial[s].X[k]) != math.Float64bits(par[s].X[k]) {
+				t.Fatalf("slot %d var %d: parallel fast path diverged", s, k)
+			}
+		}
+	}
+}

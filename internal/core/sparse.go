@@ -97,7 +97,11 @@ func (o *OnlineApprox) initSparse(in *model.Instance) {
 			eps1:    o.opts.Epsilon1,
 			eps2:    o.opts.Epsilon2,
 			workers: o.opts.Solver.Workers,
+			fast:    o.opts.FastMath,
+			fast32:  o.opts.FastMathF32,
 			rowF:    make([]float64, in.I),
+			hitRow:  make([]int64, in.I),
+			missRow: make([]int64, in.I),
 		},
 		xDense: make([]float64, in.I*in.J),
 		rcln:   make([]float64, in.I),
@@ -130,6 +134,11 @@ func (o *OnlineApprox) solveSparse(ctx context.Context, t int) (*alm.Result, []f
 	}
 	s.builder.AddSupport(warmDense)
 	s.builder.Build(&s.cand)
+
+	for i := range s.obj.hitRow {
+		s.obj.hitRow[i] = 0
+		s.obj.missRow[i] = 0
+	}
 
 	sopts := o.opts.Solver
 	sopts.Workspace = &o.ws
@@ -182,10 +191,19 @@ func (o *OnlineApprox) bindSparse(warmDense []float64) {
 	so.coef = growFloats(so.coef, nnz)
 	so.prev = growFloats(so.prev, nnz)
 	so.mgFac = growFloats(so.mgFac, nnz)
-	so.lastNum = growFloats(so.lastNum, nnz)
-	so.lastLg2 = growFloats(so.lastLg2, nnz)
 	s.lower = growFloats(s.lower, nnz) // stays all-zero
 	s.warm = growFloats(s.warm, nnz)
+	switch {
+	case !so.fast:
+		so.lastNum = growFloats(so.lastNum, nnz)
+		so.lastLg2 = growFloats(so.lastLg2, nnz)
+	case so.fast32:
+		so.invDen32 = growFloats32(so.invDen32, nnz)
+		so.ratio32 = growFloats32(so.ratio32, nnz)
+	default:
+		so.invDen = growFloats(so.invDen, nnz)
+		so.ratio = growFloats(so.ratio, nnz)
+	}
 	so.rcFac, so.prevTot = do.rcFac, do.prevTot
 	nJ := in.J
 	for i := 0; i < in.I; i++ {
@@ -196,7 +214,17 @@ func (o *OnlineApprox) bindSparse(warmDense []float64) {
 			so.prev[k] = do.prev[d]
 			so.mgFac[k] = do.mgFac[d]
 			s.warm[k] = warmDense[d]
-			so.lastNum[k] = math.NaN() // invalidate the log cache
+			if !so.fast {
+				so.lastNum[k] = math.NaN() // invalidate the log cache
+			}
+		}
+	}
+	// The fast tier divides once per bind; evaluations then multiply.
+	if so.fast {
+		if so.fast32 {
+			entropyInvDen32(so.invDen32, so.prev, so.eps2)
+		} else {
+			entropyInvDen(so.invDen, so.prev, so.eps2)
 		}
 	}
 	s.groups.RowPtr, s.groups.Cols = s.cand.RowPtr, s.cand.Cols
@@ -297,8 +325,34 @@ type p2SparseObjective struct {
 
 	rowF []float64 // per-cloud partial objective values
 
+	// hitRow/missRow count per-cloud log-cache outcomes (see p2Objective);
+	// solveSparse resets them per slot so they accumulate across the
+	// slot's expansion rounds.
+	hitRow  []int64
+	missRow []int64
+
+	// Fast-math tier (see p2Objective): packed reciprocals and log
+	// scratch, refilled by bindSparse each expansion round. fast32
+	// selects the float32 storage width.
+	fast     bool
+	fast32   bool
+	invDen   []float64
+	ratio    []float64
+	invDen32 []float32
+	ratio32  []float32
+
 	lastNum []float64 // packed log-cache keys (see p2Objective)
 	lastLg2 []float64
+}
+
+// logCacheTotals sums the per-row cache counters accumulated since the
+// start of the slot.
+func (o *p2SparseObjective) logCacheTotals() (hits, misses int64) {
+	for i := range o.hitRow {
+		hits += o.hitRow[i]
+		misses += o.missRow[i]
+	}
+	return hits, misses
 }
 
 // Eval implements fista.Objective. Cloud rows are independent exactly as
@@ -330,6 +384,9 @@ func (o *p2SparseObjective) evalRows(x, grad []float64, lo, hi int) {
 // derivation; the loops differ only in indexing through the packed
 // layout.
 func (o *p2SparseObjective) evalRow(i int, x, grad []float64) float64 {
+	if o.fast {
+		return o.evalRowFast(i, x, grad)
+	}
 	lo, hi := o.rowPtr[i], o.rowPtr[i+1]
 	row := x[lo:hi]
 	coef := o.coef[lo:hi]
@@ -337,25 +394,10 @@ func (o *p2SparseObjective) evalRow(i int, x, grad []float64) float64 {
 	mgFac := o.mgFac[lo:hi]
 	lastNum := o.lastNum[lo:hi]
 	lastLg2 := o.lastLg2[lo:hi]
-	eps2 := o.eps2
 	if grad == nil {
-		s, f := 0.0, 0.0
-		for k, v := range row {
-			s += v
-			f += coef[k] * v
-			num, den := v+eps2, prev[k]+eps2
-			var lg2 float64
-			if num != den {
-				if num == lastNum[k] {
-					lg2 = lastLg2[k]
-				} else {
-					lg2 = math.Log(num / den)
-					lastNum[k] = num
-					lastLg2[k] = lg2
-				}
-			}
-			f += mgFac[k] * (num*lg2 - v)
-		}
+		s, f, hits, misses := entropyRowValue(row, coef, prev, mgFac, lastNum, lastLg2, o.eps2)
+		o.hitRow[i] += hits
+		o.missRow[i] += misses
 		lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
 		return f + o.rcFac[i]*((s+o.eps1)*lg-s)
 	}
@@ -365,23 +407,52 @@ func (o *p2SparseObjective) evalRow(i int, x, grad []float64) float64 {
 	}
 	lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
 	f := o.rcFac[i] * ((s+o.eps1)*lg - s)
-	g := grad[lo:hi]
-	rc := o.rcFac[i] * lg
-	for k, v := range row {
-		f += coef[k] * v
-		num, den := v+eps2, prev[k]+eps2
-		var lg2 float64
-		if num != den {
-			if num == lastNum[k] {
-				lg2 = lastLg2[k]
-			} else {
-				lg2 = math.Log(num / den)
-				lastNum[k] = num
-				lastLg2[k] = lg2
-			}
-		}
-		f += mgFac[k] * (num*lg2 - v)
-		g[k] = coef[k] + rc + mgFac[k]*lg2
-	}
+	f, hits, misses := entropyRowGrad(row, coef, prev, mgFac, lastNum, lastLg2,
+		grad[lo:hi], o.eps2, f, o.rcFac[i]*lg)
+	o.hitRow[i] += hits
+	o.missRow[i] += misses
 	return f
+}
+
+// evalRowFast is evalRow on the batch-kernel tier over the packed
+// layout; see p2Objective.evalRowFast and entropy.go.
+func (o *p2SparseObjective) evalRowFast(i int, x, grad []float64) float64 {
+	lo, hi := o.rowPtr[i], o.rowPtr[i+1]
+	row := x[lo:hi]
+	coef := o.coef[lo:hi]
+	mgFac := o.mgFac[lo:hi]
+	if o.fast32 {
+		ratio := o.ratio32[lo:hi]
+		s := entropyRatioPass32(row, o.invDen32[lo:hi], ratio, o.eps2)
+		logBatch32(ratio, ratio)
+		lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
+		if grad == nil {
+			f := entropyFastValue32(row, coef, mgFac, ratio, o.eps2)
+			return f + o.rcFac[i]*((s+o.eps1)*lg-s)
+		}
+		f := o.rcFac[i] * ((s+o.eps1)*lg - s)
+		return entropyFastGrad32(row, coef, mgFac, ratio,
+			grad[lo:hi], o.eps2, f, o.rcFac[i]*lg)
+	}
+	ratio := o.ratio[lo:hi]
+	s := entropyRatioPass(row, o.invDen[lo:hi], ratio, o.eps2)
+	logBatch(ratio, ratio)
+	lg := math.Log((s + o.eps1) / (o.prevTot[i] + o.eps1))
+	if grad == nil {
+		f := entropyFastValue(row, coef, mgFac, ratio, o.eps2)
+		return f + o.rcFac[i]*((s+o.eps1)*lg-s)
+	}
+	f := o.rcFac[i] * ((s+o.eps1)*lg - s)
+	return entropyFastGrad(row, coef, mgFac, ratio,
+		grad[lo:hi], o.eps2, f, o.rcFac[i]*lg)
+}
+
+// growFloats32 is growFloats for the float32 storage tier.
+func growFloats32(s []float32, n int) []float32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]float32, n, n+n/2)
+	copy(out, s[:cap(s)])
+	return out
 }

@@ -57,6 +57,14 @@ type Params struct {
 	// pricing violations until the reduced solution is certified optimal
 	// for the full problem. 0 solves the full I·J variable space.
 	Candidates int
+	// FastMath routes the paper algorithm's entropy hot loop through the
+	// batch kernels of internal/numkernel (core.Options.FastMath):
+	// per-operation accuracy ≤1e-12 relative, schedule costs within 1e-8
+	// of the exact path, not bitwise-reproducible against it. FastMathF32
+	// additionally selects the float32 ratio-scratch storage tier
+	// (core.Options.FastMathF32) and implies FastMath.
+	FastMath    bool
+	FastMathF32 bool
 	// Scenario overrides the default §V-A price/weight knobs (fields at
 	// their zero values keep the scenario defaults).
 	Scenario scenario.Config
@@ -195,18 +203,22 @@ func fastGreedy() *baseline.Greedy {
 // approxAlg adapts the paper's algorithm to the sim.Algorithm interface
 // with a fresh state and the experiment solver profile per Solve.
 type approxAlg struct {
-	eps1, eps2 float64
-	candidates int
-	metrics    *telemetry.SolverMetrics
+	eps1, eps2  float64
+	candidates  int
+	fastMath    bool
+	fastMathF32 bool
+	metrics     *telemetry.SolverMetrics
 }
 
 func (a approxAlg) Name() string { return "online-approx" }
 
 func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 	alg := core.NewOnlineApprox(in, core.Options{
-		Epsilon1:   a.eps1,
-		Epsilon2:   a.eps2,
-		Candidates: a.candidates,
+		Epsilon1:    a.eps1,
+		Epsilon2:    a.eps2,
+		Candidates:  a.candidates,
+		FastMath:    a.fastMath,
+		FastMathF32: a.fastMathF32,
 		Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
 			FeasTol: 1e-7, DualTol: 1e-3, ObjTol: 1e-8, Penalty: 2},
 		Metrics: a.metrics,
@@ -218,7 +230,8 @@ var _ sim.Algorithm = approxAlg{}
 
 // approx builds the paper's algorithm adapter under p's knobs.
 func (p Params) approx() approxAlg {
-	return approxAlg{candidates: p.Candidates, metrics: p.Metrics}
+	return approxAlg{candidates: p.Candidates,
+		fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}
 }
 
 // aggregate converts per-rep ratio maps into sorted cells.
@@ -321,7 +334,8 @@ func Fig1(p Params) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
-		apRun, err := sim.ExecuteOpts(tc.inst, approxAlg{metrics: p.Metrics}, p.simOptions())
+		apRun, err := sim.ExecuteOpts(tc.inst, approxAlg{
+			fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}, p.simOptions())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
@@ -414,7 +428,8 @@ func Fig4(p Params) (*Result, error) {
 			},
 			Algs: func() []sim.Algorithm {
 				return []sim.Algorithm{approxAlg{
-					eps1: eps, eps2: eps, candidates: p.Candidates, metrics: p.Metrics}}
+					eps1: eps, eps2: eps, candidates: p.Candidates,
+					fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}}
 			},
 		})
 	}

@@ -66,6 +66,21 @@ func Diff(base, cur []Record) []DiffRow {
 	return rows
 }
 
+// MissingBaselines returns the names of kernels measured now but absent
+// from the baseline dump. A new kernel silently skipping the regression
+// gate is how a perf claim goes unrecorded, so callers (edgebench
+// -benchdiff, make bench-diff) fail loudly on a non-empty result and
+// direct the author to regenerate the baseline with -benchjson.
+func MissingBaselines(rows []DiffRow) []string {
+	var names []string
+	for _, r := range rows {
+		if !r.HasBase {
+			names = append(names, r.Name)
+		}
+	}
+	return names
+}
+
 // Regressions returns the rows that fail the gate: ns/op grew by more
 // than threshold (0.25 = +25%) relative to the baseline, or allocs/op
 // grew past the AllocRegression bound.

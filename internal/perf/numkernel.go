@@ -1,0 +1,112 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgealloc/internal/numkernel"
+)
+
+// The NumKernel family measures the batch fast-math kernels behind
+// core.Options.FastMath in isolation, over one cache-resident buffer of
+// solver-typical operands. NumKernel/LogStdlib is the per-element
+// math.Log loop the batch kernel replaces, so LogStdlib/LogBatch is the
+// raw per-element win before any solver-level effects (reciprocal
+// precompute, cache-traffic elimination) stack on top.
+
+// numKernelLen is the element count of every NumKernel buffer: a J-row
+// of the flagship scaling size, comfortably L1/L2-resident so the
+// kernels measure arithmetic throughput, not memory.
+const numKernelLen = 4096
+
+// numKernelOperands draws solver-typical log operands: migration ratios
+// (x+ε₂)/(x'+ε₂) concentrate within a few decades of 1.
+func numKernelOperands() []float64 {
+	rng := rand.New(rand.NewSource(scaleSeed))
+	xs := make([]float64, numKernelLen)
+	for i := range xs {
+		xs[i] = math.Exp(6 * (rng.Float64() - 0.5))
+	}
+	return xs
+}
+
+// NumKernelLogBatch benches numkernel.LogBatch.
+func NumKernelLogBatch(b *testing.B) {
+	xs := numKernelOperands()
+	dst := make([]float64, numKernelLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		numkernel.LogBatch(dst, xs)
+	}
+}
+
+// NumKernelLogStdlib benches the scalar math.Log loop LogBatch replaces.
+func NumKernelLogStdlib(b *testing.B) {
+	xs := numKernelOperands()
+	dst := make([]float64, numKernelLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i, x := range xs {
+			dst[i] = math.Log(x)
+		}
+	}
+}
+
+// NumKernelLog1pBatch benches numkernel.Log1pBatch on near-zero operands.
+func NumKernelLog1pBatch(b *testing.B) {
+	xs := numKernelOperands()
+	for i := range xs {
+		xs[i] -= 1 // spans (-1, e^3-1), centered near 0
+	}
+	dst := make([]float64, numKernelLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		numkernel.Log1pBatch(dst, xs)
+	}
+}
+
+// NumKernelExpBatch benches numkernel.ExpBatch on softplus-typical
+// operands.
+func NumKernelExpBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(scaleSeed))
+	xs := make([]float64, numKernelLen)
+	for i := range xs {
+		xs[i] = 60 * (rng.Float64() - 0.5)
+	}
+	dst := make([]float64, numKernelLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		numkernel.ExpBatch(dst, xs)
+	}
+}
+
+// NumKernelLogBatch32 benches the float32 storage tier.
+func NumKernelLogBatch32(b *testing.B) {
+	xs64 := numKernelOperands()
+	xs := make([]float32, numKernelLen)
+	for i, v := range xs64 {
+		xs[i] = float32(v)
+	}
+	dst := make([]float32, numKernelLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		numkernel.LogBatch32(dst, xs)
+	}
+}
+
+// NumKernelSpecs lists the fast-math kernel microbenchmarks.
+func NumKernelSpecs() []Spec {
+	return []Spec{
+		{"NumKernel/LogBatch", NumKernelLogBatch},
+		{"NumKernel/LogStdlib", NumKernelLogStdlib},
+		{"NumKernel/Log1pBatch", NumKernelLog1pBatch},
+		{"NumKernel/ExpBatch", NumKernelExpBatch},
+		{"NumKernel/LogBatch32", NumKernelLogBatch32},
+	}
+}

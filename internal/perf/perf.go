@@ -169,6 +169,7 @@ func Specs(includeScale bool) []Spec {
 		{"ALMSolve", ALMSolve},
 		{"OnlineApproxStep", OnlineApproxStep},
 	}
+	specs = append(specs, NumKernelSpecs()...)
 	if includeScale {
 		specs = append(specs, ScaleSpecs()...)
 		specs = append(specs, SparseSpecs()...)

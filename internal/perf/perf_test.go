@@ -29,6 +29,14 @@ func BenchmarkStepScale(b *testing.B) {
 	}
 }
 
+// BenchmarkNumKernel exposes the fast-math kernel family; use
+// -bench 'NumKernel/LogBatch$' to pick one kernel.
+func BenchmarkNumKernel(b *testing.B) {
+	for _, s := range NumKernelSpecs() {
+		b.Run(strings.TrimPrefix(s.Name, "NumKernel/"), s.Bench)
+	}
+}
+
 // BenchmarkStepSparse exposes the candidate-size sweep; use
 // -bench 'StepSparse/I=50,J=5000/k=8' to pick one width.
 func BenchmarkStepSparse(b *testing.B) {
@@ -41,11 +49,12 @@ func BenchmarkStepSparse(b *testing.B) {
 }
 
 func TestSpecsAreNamedAndRunnable(t *testing.T) {
-	if n := len(Specs(false)); n != 3 {
-		t.Fatalf("Specs(false) = %d kernels, want the 3 base kernels", n)
+	base := 3 + len(NumKernelSpecs())
+	if n := len(Specs(false)); n != base {
+		t.Fatalf("Specs(false) = %d kernels, want the %d base kernels", n, base)
 	}
 	specs := Specs(true)
-	want := 3 + len(ScaleSpecs()) + len(SparseSpecs())
+	want := base + len(ScaleSpecs()) + len(SparseSpecs())
 	if len(specs) != want {
 		t.Fatalf("Specs(true) = %d kernels, want %d", len(specs), want)
 	}
@@ -88,6 +97,9 @@ func TestDiffFlagsRegressionsOnly(t *testing.T) {
 	regs := Regressions(rows, 0.25)
 	if len(regs) != 2 || regs[0].Name != "A" || regs[1].Name != "AllocBig" {
 		t.Fatalf("Regressions = %+v, want exactly kernels A and AllocBig", regs)
+	}
+	if missing := MissingBaselines(rows); len(missing) != 1 || missing[0] != "New" {
+		t.Fatalf("MissingBaselines = %v, want exactly [New]", missing)
 	}
 	var buf bytes.Buffer
 	WriteDiffTable(&buf, rows)

@@ -263,6 +263,13 @@ func stepPasses(b *testing.B, in *model.Instance, opts core.Options) {
 //     where affordable (Exact sizes).
 //   - "dense": the O(I²·J) sparse-row reference (DenseRows), benched
 //     where tractable (Dense sizes).
+//   - "fast": the production configuration with the batch-kernel tier
+//     (core.Options.FastMath) — same candidate sets, entropy logs through
+//     internal/numkernel. The fast/group ratio is the kernel tier's
+//     end-to-end win.
+//   - "fast32": "fast" with the float32 ratio/reciprocal storage tier
+//     (core.Options.FastMathF32), benched at the flagship size where the
+//     bandwidth saving is measurable.
 func StepScale(size ScaleSize, variant string) func(*testing.B) {
 	return func(b *testing.B) {
 		in, err := SyntheticInstance(size.I, size.J, scaleHorizon, scaleSeed)
@@ -278,6 +285,14 @@ func StepScale(size ScaleSize, variant string) func(*testing.B) {
 			// Structured kernels over the unpruned variable space.
 		case "dense":
 			opts.DenseRows = true
+		case "fast":
+			opts.Candidates = scaleCandidates
+			opts.CandidateTol = scaleCandidateTol
+			opts.FastMath = true
+		case "fast32":
+			opts.Candidates = scaleCandidates
+			opts.CandidateTol = scaleCandidateTol
+			opts.FastMathF32 = true
 		default:
 			b.Fatalf("perf: unknown scaling variant %q", variant)
 		}
@@ -315,12 +330,18 @@ func SparseSpecName(size ScaleSize, k int) string {
 }
 
 // ScaleSpecs lists the scaling-tier kernels: the certified candidate
-// path at every grid point, the unpruned exact reference where
-// affordable, and the dense sparse-row reference where tractable.
+// path and its batch-kernel ("fast") variant at every grid point, the
+// unpruned exact reference where affordable, the dense sparse-row
+// reference where tractable, and the float32 storage tier at the
+// flagship size.
 func ScaleSpecs() []Spec {
 	var specs []Spec
 	for _, size := range ScaleSizes() {
 		specs = append(specs, Spec{Name: ScaleSpecName(size, "group"), Bench: StepScale(size, "group")})
+		specs = append(specs, Spec{Name: ScaleSpecName(size, "fast"), Bench: StepScale(size, "fast")})
+		if size.I == 50 && size.J == 5000 {
+			specs = append(specs, Spec{Name: ScaleSpecName(size, "fast32"), Bench: StepScale(size, "fast32")})
+		}
 		if size.Exact {
 			specs = append(specs, Spec{Name: ScaleSpecName(size, "exact"), Bench: StepScale(size, "exact")})
 		}

@@ -65,6 +65,12 @@ type Config struct {
 	// deadline context is plumbed into the solver loop, so an expired
 	// slot aborts between FISTA sweeps with the warm state intact.
 	StepTimeout time.Duration
+	// FastMath makes every session solve with the batch fast-math
+	// entropy kernels (core.Options.FastMath); per-session options can
+	// also enable it selectively. FastMathF32 additionally stores the
+	// ratio scratch in float32 and implies FastMath.
+	FastMath    bool
+	FastMathF32 bool
 	// Registry receives the daemon's metrics; a private registry is
 	// created when nil.
 	Registry *telemetry.Registry

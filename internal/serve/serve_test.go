@@ -425,6 +425,14 @@ func TestMetricsMatchSolverDiagnostics(t *testing.T) {
 	if got := num("edgealloc_solver_fista_iterations_total"); got != float64(wantInner) {
 		t.Errorf("fista iterations = %g, responses sum to %d", got, wantInner)
 	}
+	// The exact entropy path memoizes per-element logs, so a warm solve
+	// must have recorded both cache misses (cold slots) and hits.
+	if got := num("edgealloc_solver_logcache_misses_total"); got <= 0 {
+		t.Errorf("logcache misses = %g, want > 0 on the exact path", got)
+	}
+	if got := num("edgealloc_solver_logcache_hits_total"); got <= 0 {
+		t.Errorf("logcache hits = %g, want > 0 on the exact path", got)
+	}
 	if got := num("edgealloc_serve_slots_total"); got != horizon {
 		t.Errorf("serve slots_total = %g, want %d", got, horizon)
 	}
@@ -588,4 +596,55 @@ func TestSessionListCostsAndLimits(t *testing.T) {
 		t.Errorf("costs total %g != final slot running total %g", costs.WeightedTotal, last.Cost.RunTotal)
 	}
 	_ = idB
+}
+
+// TestFastMathSession drives one session with the per-session fastMath
+// option and one on a daemon forced to fast math via Config, and
+// requires both schedules to match a fast-math batch sim run exactly —
+// the kernel tier is deterministic for a fixed instance, so the served
+// path and the batch path must agree byte for byte.
+func TestFastMathSession(t *testing.T) {
+	const horizon = 3
+	in := testInstance(t, 4, horizon, 17)
+	want, err := sim.Execute(in, core.NewOnlineApprox(nil, core.Options{FastMath: true}))
+	if err != nil {
+		t.Fatalf("fast-math reference run: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := model.WriteInstance(&buf, in); err != nil {
+		t.Fatalf("encoding instance: %v", err)
+	}
+
+	// Per-session opt-in on a default daemon.
+	_, ts := newTestServer(t, Config{})
+	var created createResponse
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", map[string]any{
+		"instance": json.RawMessage(buf.Bytes()),
+		"options":  map[string]any{"fastMath": true},
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create fast-math session: status %d: %s", code, raw)
+	}
+	driveSession(t, ts.URL, created.ID, horizon)
+	if got := fetchSchedule(t, ts.URL, created.ID); !schedulesEqual(got, want.Schedule) {
+		t.Error("per-session fastMath schedule differs from fast-math batch sim")
+	}
+
+	// Daemon-level default: plain create, fast math still applies.
+	_, tsFM := newTestServer(t, Config{FastMath: true})
+	id := createSession(t, tsFM.URL, in)
+	driveSession(t, tsFM.URL, id, horizon)
+	if got := fetchSchedule(t, tsFM.URL, id); !schedulesEqual(got, want.Schedule) {
+		t.Error("Config.FastMath schedule differs from fast-math batch sim")
+	}
+
+	// The fast path costs stay within the documented 1e-8 agreement of
+	// the exact path.
+	exact := reference(t, in)
+	wantTotal := in.Total(exact.Breakdown)
+	gotTotal := in.Total(want.Breakdown)
+	if math.Abs(gotTotal-wantTotal) > 1e-8*(1+math.Abs(wantTotal)) {
+		t.Errorf("fast-math run total %g vs exact %g beyond 1e-8", gotTotal, wantTotal)
+	}
 }

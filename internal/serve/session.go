@@ -93,13 +93,19 @@ type solverOptions struct {
 	Epsilon2     float64 `json:"epsilon2,omitempty"`
 	Candidates   int     `json:"candidates,omitempty"`
 	CandidateTol float64 `json:"candidateTol,omitempty"`
-	MaxOuter     int     `json:"maxOuter,omitempty"`
-	InnerIters   int     `json:"innerIters,omitempty"`
-	Workers      int     `json:"workers,omitempty"`
-	FeasTol      float64 `json:"feasTol,omitempty"`
-	ObjTol       float64 `json:"objTol,omitempty"`
-	DualTol      float64 `json:"dualTol,omitempty"`
-	Penalty      float64 `json:"penalty,omitempty"`
+	// FastMath selects the batch fast-math entropy kernels for this
+	// session (costs agree with the exact path to 1e-8); FastMathF32
+	// additionally stores the ratio scratch in float32 and implies
+	// FastMath. Both also turn on when the daemon runs with -fastmath.
+	FastMath    bool    `json:"fastMath,omitempty"`
+	FastMathF32 bool    `json:"fastMathF32,omitempty"`
+	MaxOuter    int     `json:"maxOuter,omitempty"`
+	InnerIters  int     `json:"innerIters,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	FeasTol     float64 `json:"feasTol,omitempty"`
+	ObjTol      float64 `json:"objTol,omitempty"`
+	DualTol     float64 `json:"dualTol,omitempty"`
+	Penalty     float64 `json:"penalty,omitempty"`
 }
 
 func (o solverOptions) validate() error {
@@ -117,6 +123,8 @@ func (o solverOptions) coreOptions(srv *Server) core.Options {
 		Epsilon2:     o.Epsilon2,
 		Candidates:   o.Candidates,
 		CandidateTol: o.CandidateTol,
+		FastMath:     o.FastMath || srv.cfg.FastMath,
+		FastMathF32:  o.FastMathF32 || srv.cfg.FastMathF32,
 		Solver: alm.Options{
 			MaxOuter:   o.MaxOuter,
 			InnerIters: o.InnerIters,

@@ -109,3 +109,89 @@ func TestSchedulePanicsOnBadInput(t *testing.T) {
 		}()
 	}
 }
+
+// TestSoftplusExtremeArguments pins the branch ladder on the operands the
+// fast-math tier leans on: infinities, huge finite x (the z > 30 branch
+// must return x without ever forming e^z), subnormal x, and subnormal mu
+// (which drives z to ±Inf for any ordinary x).
+func TestSoftplusExtremeArguments(t *testing.T) {
+	inf := math.Inf(1)
+	tests := []struct {
+		name, kind string
+		x, mu      float64
+		want       float64
+	}{
+		{"+Inf", "exact", inf, 1, inf},
+		{"-Inf", "exact", -inf, 1, 0},
+		{"huge x avoids overflow", "exact", math.MaxFloat64, 1, math.MaxFloat64},
+		{"huge negative underflows to 0", "exact", -math.MaxFloat64, 1, 0},
+		{"large z branch is identity", "exact", 1e9, 1, 1e9},
+		{"subnormal mu, positive x", "exact", 2.5, math.SmallestNonzeroFloat64, 2.5},
+		{"subnormal mu, negative x", "exact", -2.5, math.SmallestNonzeroFloat64, 0},
+		{"subnormal x", "approx", math.SmallestNonzeroFloat64, 1, math.Ln2},
+		{"negative subnormal x", "approx", -math.SmallestNonzeroFloat64, 1, math.Ln2},
+		{"subnormal x and mu", "approx", math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64,
+			math.Ln2 * math.SmallestNonzeroFloat64},
+	}
+	for _, tt := range tests {
+		got := Softplus(tt.x, tt.mu)
+		switch tt.kind {
+		case "exact":
+			if got != tt.want {
+				t.Errorf("%s: Softplus(%g, %g) = %g, want exactly %g", tt.name, tt.x, tt.mu, got, tt.want)
+			}
+		case "approx":
+			if math.Abs(got-tt.want) > 1e-12*math.Max(1, math.Abs(tt.want)) {
+				t.Errorf("%s: Softplus(%g, %g) = %g, want %g", tt.name, tt.x, tt.mu, got, tt.want)
+			}
+		}
+	}
+	if got := Softplus(math.NaN(), 1); !math.IsNaN(got) {
+		t.Errorf("Softplus(NaN, 1) = %g, want NaN", got)
+	}
+}
+
+// TestSoftplusGradExtremeArguments mirrors the branch checks for the
+// derivative: the saturated branches must return exactly 1 and exactly
+// e^z, and infinities must not produce NaN.
+func TestSoftplusGradExtremeArguments(t *testing.T) {
+	inf := math.Inf(1)
+	if g := SoftplusGrad(inf, 1); g != 1 {
+		t.Errorf("grad(+Inf) = %g, want 1", g)
+	}
+	if g := SoftplusGrad(-inf, 1); g != 0 {
+		t.Errorf("grad(-Inf) = %g, want 0", g)
+	}
+	if g := SoftplusGrad(math.MaxFloat64, 1); g != 1 {
+		t.Errorf("grad(MaxFloat64) = %g, want exactly 1 (z > 30 branch)", g)
+	}
+	if g := SoftplusGrad(-800, 1); g != math.Exp(-800) {
+		t.Errorf("grad(-800) = %g, want e^-800 (underflows to 0 without NaN)", g)
+	}
+	if g := SoftplusGrad(math.SmallestNonzeroFloat64, 1); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("grad(subnormal) = %g, want 0.5", g)
+	}
+	if g := SoftplusGrad(3, math.SmallestNonzeroFloat64); g != 1 {
+		t.Errorf("grad with subnormal mu = %g, want 1", g)
+	}
+}
+
+// TestSoftplusBranchContinuity walks operand pairs across the z = ±30
+// and z = 0 branch boundaries: adjacent branches must agree to ~e^-30
+// (the magnitude of the term each saturated branch drops).
+func TestSoftplusBranchContinuity(t *testing.T) {
+	for _, mu := range []float64{0.05, 1, 7} {
+		for _, z := range []float64{-30, 0, 30} {
+			lo := mu * (z - 1e-9)
+			hi := mu * (z + 1e-9)
+			a, b := Softplus(lo, mu), Softplus(hi, mu)
+			if math.Abs(a-b) > mu*1e-8+1e-12 {
+				t.Errorf("mu=%g: Softplus jumps across z=%g: %g vs %g", mu, z, a, b)
+			}
+			ga, gb := SoftplusGrad(lo, mu), SoftplusGrad(hi, mu)
+			if math.Abs(ga-gb) > 1e-8 {
+				t.Errorf("mu=%g: grad jumps across z=%g: %g vs %g", mu, z, ga, gb)
+			}
+		}
+	}
+}

@@ -15,6 +15,8 @@ import "strconv"
 //	edgealloc_solver_candidate_rounds_total        counter  candidate-set solves (≥1/slot)
 //	edgealloc_solver_candidate_expanded_pairs_total counter pairs re-admitted by pricing
 //	edgealloc_solver_candidate_nnz                 gauge    Σ_j|K_j| of the last certified solve
+//	edgealloc_solver_logcache_hits_total           counter  migration-log memo-cache hits (exact path)
+//	edgealloc_solver_logcache_misses_total         counter  migration-log memo-cache misses (exact path)
 //	edgealloc_cloud_utilization{cloud=i}           gauge    Σ_j x_{i,j,t}/C_i at the last solved slot
 //	edgealloc_conform_violations_total{kind=k}     counter  oracle findings by guarantee kind
 //	edgealloc_sim_runs_total                       counter  completed harness runs
@@ -32,6 +34,8 @@ type SolverMetrics struct {
 	CandRounds   *Counter
 	CandExpanded *Counter
 	CandNNZ      *Gauge
+	LogHits      *Counter
+	LogMisses    *Counter
 	CloudUtil    *GaugeVec
 	ConformViol  *CounterVec
 	SimRuns      *Counter
@@ -57,6 +61,10 @@ func NewSolverMetrics(r *Registry) *SolverMetrics {
 			"(cloud,user) pairs re-admitted by the dual pricing pass."),
 		CandNNZ: r.Gauge("edgealloc_solver_candidate_nnz",
 			"Packed variable count of the most recent certified candidate solve."),
+		LogHits: r.Counter("edgealloc_solver_logcache_hits_total",
+			"Migration-entropy log memo-cache hits on the exact evaluation path (zero under FastMath)."),
+		LogMisses: r.Counter("edgealloc_solver_logcache_misses_total",
+			"Migration-entropy log memo-cache misses (fresh math.Log calls) on the exact evaluation path."),
 		CloudUtil: r.GaugeVec("edgealloc_cloud_utilization",
 			"Per-cloud utilization sum_j x_ij / C_i at the most recent solved slot.", "cloud"),
 		ConformViol: r.CounterVec("edgealloc_conform_violations_total",
@@ -91,6 +99,17 @@ func (m *SolverMetrics) ObserveCandidates(rounds, expandedPairs, finalNNZ int) {
 	m.CandRounds.Add(float64(rounds))
 	m.CandExpanded.Add(float64(expandedPairs))
 	m.CandNNZ.Set(float64(finalNNZ))
+}
+
+// ObserveLogCache records one slot's migration-log memo-cache outcomes
+// on the exact evaluation path (both zero under FastMath, whose batch
+// kernels bypass the cache).
+func (m *SolverMetrics) ObserveLogCache(hits, misses int64) {
+	if m == nil {
+		return
+	}
+	m.LogHits.Add(float64(hits))
+	m.LogMisses.Add(float64(misses))
 }
 
 // SetCloudUtilization records cloud i's utilization at the latest slot.

@@ -12,6 +12,7 @@ floors='
 internal/core 95
 internal/conform 90
 internal/model 90
+internal/numkernel 95
 internal/sim 90
 internal/solver/alm 90
 internal/solver/fista 95
