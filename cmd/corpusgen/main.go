@@ -1,8 +1,9 @@
 // Command corpusgen regenerates the committed fuzz seed-corpus files, in
 // the `go test fuzz v1` corpus format: real encoded instances (toy,
-// generated, and Rome-derived) for FuzzInstanceDecode, and the float64
+// generated, and Rome-derived) for FuzzInstanceDecode, the float64
 // boundary operands for the fast-math differential fuzz
-// FuzzFastMathVsStdlib.
+// FuzzFastMathVsStdlib, and the decomposition boundary tuples for the
+// sharded-path differential fuzz FuzzShardVsDense.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 func main() {
 	writeInstanceCorpus()
 	writeFastMathCorpus()
+	writeShardCorpus()
 }
 
 func writeInstanceCorpus() {
@@ -56,6 +58,35 @@ func writeInstanceCorpus() {
 	for name, body := range adversarial {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("corpus written to", dir)
+}
+
+// writeShardCorpus pins the decomposition boundaries of the sharded-path
+// differential fuzz FuzzShardVsDense: the degenerate single-shard
+// coordinator (pure overhead, must still match dense), shard counts past
+// the user count (clamped to one user per shard, the raggedest split),
+// the single-user/single-slot corners, and a mid-split multi-slot
+// instance where consensus genuinely redistributes load. Each file is
+// (seed, I, J, T, S) in the generator-clamp encoding the target spans.
+func writeShardCorpus() {
+	dir := filepath.Join("internal", "core", "testdata", "fuzz", "FuzzShardVsDense")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	seeds := map[string][5]int64{
+		"seed-single-shard":   {41, 3, 4, 2, 1},
+		"seed-user-per-shard": {11, 2, 3, 3, 9},
+		"seed-single-user":    {97, 4, 1, 2, 2},
+		"seed-single-slot":    {7, 3, 5, 1, 3},
+		"seed-mid-split":      {20140212, 4, 5, 3, 2},
+	}
+	for name, v := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\nint64(%d)\nint(%d)\nint(%d)\nint(%d)\nint(%d)\n",
+			v[0], v[1], v[2], v[3], v[4])
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
 			log.Fatal(err)
 		}
 	}

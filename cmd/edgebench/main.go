@@ -47,12 +47,14 @@ func run() int {
 			"evaluate the paper algorithm's entropy terms with the batch fast-math kernels (costs agree with the exact path to 1e-8; not bitwise-reproducible against it)")
 		fastmath32 = flag.Bool("fastmath32", false,
 			"with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
+		shards = flag.Int("shards", 0,
+			"split the paper algorithm's per-slot solve across this many user shards coordinated by consensus ADMM in the ablations (0 = single program; composes with -candidates and -fastmath)")
 		benchjson = flag.String("benchjson", "",
 			"run the solver microbenchmarks and write machine-readable JSON to this file (e.g. BENCH_solver.json), skipping the ablations")
 		benchdiff = flag.String("benchdiff", "",
 			"run the solver microbenchmarks and compare against this baseline JSON, exiting nonzero if any kernel regressed more than 25% ns/op or grew its allocs/op past the gate")
 		scale = flag.Bool("scale", false,
-			"include the StepScale/StepSparse scaling tier in -benchjson/-benchdiff (adds tens of minutes)")
+			"include the StepScale/StepSparse/StepShard scaling tier in -benchjson/-benchdiff (adds tens of minutes)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -122,6 +124,7 @@ func run() int {
 		Seed:        *seed,
 		Workers:     *workers,
 		Candidates:  *candidates,
+		Shards:      *shards,
 		FastMath:    *fastmath,
 		FastMathF32: *fastmath32,
 	}

@@ -39,6 +39,7 @@ func run(args []string, errw io.Writer) int {
 		drainWait   = fs.Duration("drain-wait", 30*time.Second, "shutdown grace for in-flight slots")
 		fastmath    = fs.Bool("fastmath", false, "solve every session with the batch fast-math entropy kernels (costs agree with the exact path to 1e-8)")
 		fastmath32  = fs.Bool("fastmath32", false, "with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
+		shards      = fs.Int("shards", 0, "split every session's per-slot solve across this many user shards coordinated by consensus ADMM (0 = single program)")
 		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +61,7 @@ func run(args []string, errw io.Writer) int {
 		StepTimeout:  *stepTimeout,
 		FastMath:     *fastmath,
 		FastMathF32:  *fastmath32,
+		Shards:       *shards,
 		Logger:       log,
 	})
 

@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		candidates = fs.Int("candidates", 0, "per-user candidate-set size for the paper's algorithm (0 = full variable space; any value is certified equal to the full solve)")
 		fastmath   = fs.Bool("fastmath", false, "evaluate the paper algorithm's entropy terms with the batch fast-math kernels (costs agree with the exact path to 1e-8; not bitwise-reproducible against it)")
 		fastmath32 = fs.Bool("fastmath32", false, "with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
+		shards     = fs.Int("shards", 0, "split the paper algorithm's per-slot solve across this many user shards coordinated by consensus ADMM (0 = single program; composes with -candidates and -fastmath)")
 		noconform  = fs.Bool("noconform", false, "disable the paper-conformance oracle on every run (it is on by default)")
 		dist       = fs.String("dist", "", "workload distribution override (power|uniform|normal)")
 		mu         = fs.Float64("mu", 0, "dynamic/static weight ratio μ (0 = default 1)")
@@ -94,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:            *seed,
 		Workers:         *workers,
 		Candidates:      *candidates,
+		Shards:          *shards,
 		FastMath:        *fastmath,
 		FastMathF32:     *fastmath32,
 		SkipConformance: *noconform,

@@ -60,6 +60,28 @@ type Options struct {
 	// re-solves warm (see sparse.go). 0 solves the full dense variable
 	// space directly. Takes precedence over DenseRows.
 	Candidates int
+	// Shards > 0 enables the user-sharded dual-decomposition path: the J
+	// users are split into Shards contiguous shards, each solving its
+	// reduced P2 (static + migration + demand rows over its own users, on
+	// its own ragged candidate set and ALM/FISTA workspace) in parallel,
+	// while a sharing-ADMM coordination loop on the per-cloud totals
+	// (internal/solver/shard) carries the reconfiguration regularizer and
+	// the complement/capacity rows and certifies the assembled schedule
+	// primal-feasible and dual-consistent (see shard.go and DESIGN.md
+	// §7e). 0 keeps the single-program paths bitwise unchanged. Composes
+	// with Candidates and FastMath; Solver.Workers bounds the number of
+	// concurrently solving shards, and results are byte-identical for any
+	// worker count. Takes precedence over DenseRows.
+	Shards int
+	// ShardRho is the coordination loop's ADMM consensus penalty,
+	// ShardMaxIters its iteration cap, and ShardPrimalTol/ShardDualTol
+	// its consensus-residual and price-movement tolerances. Zero values
+	// take the internal/solver/shard defaults (4, 60, 1e-8, 1e-6); only
+	// meaningful with Shards > 0.
+	ShardRho       float64
+	ShardMaxIters  int
+	ShardPrimalTol float64
+	ShardDualTol   float64
 	// CandidateTol is the reduced-cost tolerance of the pricing pass,
 	// relative to 1 + |static coefficient| per pair (default 1e-7):
 	// pruned pairs priced below −CandidateTol·(1+|ā_ij|) rejoin the
@@ -149,6 +171,7 @@ type OnlineApprox struct {
 	groups   *alm.Groups
 	lower    []float64
 	sparse   *sparseState
+	shrd     *shardState
 	obj      *p2Objective
 	prob     alm.Problem
 	ws       alm.Workspace
@@ -188,6 +211,13 @@ type StepDiag struct {
 	// path (zero when Options.Candidates is off): reduced solves, pairs
 	// re-admitted by pricing, and the certified solve's packed size.
 	CandRounds, CandExpanded, CandNNZ int
+	// ShardIters, ShardResidual, and ShardMaxSeconds describe the sharded
+	// coordination path (zero when Options.Shards is off): outer dual-
+	// ascent iterations spent on the slot, the final max consensus/
+	// capacity residual, and the slowest shard's cumulative solve time.
+	ShardIters      int
+	ShardResidual   float64
+	ShardMaxSeconds float64
 	// LogCacheHits and LogCacheMisses count the slot's migration-log
 	// memo-cache outcomes on the exact evaluation path (hits are logs
 	// reused without recomputation; the zero-flow skip is counted by
@@ -245,6 +275,8 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 			o.obj.enableFast(o.opts.FastMathF32)
 		}
 		switch {
+		case o.opts.Shards > 0:
+			o.initShard(in)
 		case o.opts.Candidates > 0:
 			o.initSparse(in)
 		case o.opts.DenseRows:
@@ -273,9 +305,19 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 	if o.sparse != nil {
 		statsBefore = o.sparse.stats
 	}
+	var shardBefore ShardStats
+	if o.shrd != nil {
+		shardBefore = o.shrd.stats
+	}
 	var res *alm.Result
 	var xSrc []float64
-	if o.sparse != nil {
+	if o.shrd != nil {
+		r, xd, err := o.solveShard(ctx, t)
+		if err != nil {
+			return model.Alloc{}, fmt.Errorf("core: slot %d: %w", t, err)
+		}
+		res, xSrc = r, xd
+	} else if o.sparse != nil {
 		r, xd, err := o.solveSparse(ctx, t)
 		if err != nil {
 			return model.Alloc{}, fmt.Errorf("core: slot %d: %w", t, err)
@@ -347,7 +389,22 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 		Inner:     res.InnerIters,
 		Converged: res.Converged,
 	}
-	if o.sparse != nil {
+	switch {
+	case o.shrd != nil:
+		d := &o.lastDiag
+		s := o.shrd.stats
+		d.CandRounds = s.Rounds - shardBefore.Rounds
+		d.CandExpanded = s.Expanded - shardBefore.Expanded
+		d.CandNNZ = s.FinalNNZ
+		d.ShardIters = s.CoordIters - shardBefore.CoordIters
+		d.ShardResidual = s.MaxResidual
+		d.ShardMaxSeconds = s.MaxSeconds
+		for _, b := range o.shrd.blocks {
+			h, m := b.obj.logCacheTotals()
+			d.LogCacheHits += h
+			d.LogCacheMisses += m
+		}
+	case o.sparse != nil:
 		d := &o.lastDiag
 		s := o.sparse.stats
 		// The sparse result reports the final round only; the stats deltas
@@ -358,15 +415,18 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 		d.CandExpanded = s.Expanded - statsBefore.Expanded
 		d.CandNNZ = s.FinalNNZ
 		d.LogCacheHits, d.LogCacheMisses = o.sparse.obj.logCacheTotals()
-	} else {
+	default:
 		o.lastDiag.LogCacheHits, o.lastDiag.LogCacheMisses = o.obj.logCacheTotals()
 	}
 	if m := o.opts.Metrics; m != nil {
 		d := o.lastDiag
 		m.ObserveStep(d.Seconds, d.Outer, d.Inner, d.Converged)
 		m.ObserveLogCache(d.LogCacheHits, d.LogCacheMisses)
-		if o.sparse != nil {
+		if o.sparse != nil || o.shrd != nil {
 			m.ObserveCandidates(d.CandRounds, d.CandExpanded, d.CandNNZ)
+		}
+		if o.shrd != nil {
+			m.ObserveShards(d.ShardIters, d.ShardResidual, o.shrd.blockSecs)
 		}
 		if o.cloudTot == nil {
 			o.cloudTot = make([]float64, in.I)

@@ -89,6 +89,32 @@ func FuzzCandidateVsDense(f *testing.F) {
 	})
 }
 
+// FuzzShardVsDense is the sharded-path certified-equality property under
+// fuzzed regimes: for any shard count the fuzzer picks (including S = 1
+// and S > J, which clamps to one user per shard), every slot-coupled
+// assembled solve must match the dense solve's P2 objective to 1e-6
+// relative — the same fuzz-headroom rationale as FuzzCandidateVsDense,
+// with the coordination loop run to a 1e-10 consensus residual. A
+// price-coordination bug (wrong target split, stale consensus duals, a
+// block assembled out of order) moves the objective far beyond that.
+func FuzzShardVsDense(f *testing.F) {
+	f.Add(int64(41), 3, 3, 2, 2)
+	f.Add(int64(11), 2, 5, 3, 4)
+	f.Add(int64(97), 4, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, seed int64, nI, nJ, nT, s int) {
+		in := conform.GenInstance(conform.GenConfig{
+			Seed: seed, I: span(nI, 2, 4), J: span(nJ, 1, 5), T: span(nT, 1, 3)})
+		gaps := coupledPathGaps(t, in,
+			Options{Solver: ultraTightOpts()}, shardTestOpts(span(s, 1, in.J+2)))
+		for tt, d := range gaps {
+			if d > 1e-6 {
+				t.Errorf("slot %d (I=%d J=%d): P2 objective rel gap %g > 1e-6",
+					tt, in.I, in.J, d)
+			}
+		}
+	})
+}
+
 // FuzzStructuredVsDenseRows pits the structured group-sum constraint
 // kernel against the generic sparse-row reference path on the same
 // slot-coupled criterion (1e-6 under fuzzing, as above).

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgealloc/internal/conform"
+	"edgealloc/internal/model"
+	"edgealloc/internal/scenario"
+	"edgealloc/internal/solver/alm"
+)
+
+// shardTestOpts returns sharded-path options tight enough that the
+// assembled optimum lands in the same ~1e-9 tolerance ball as the
+// unsharded ultra-tight solve: the coordination loop runs to a 1e-10
+// consensus residual with the block and z-solves at ultraTightOpts.
+func shardTestOpts(shards int) Options {
+	return Options{
+		Solver:         ultraTightOpts(),
+		Shards:         shards,
+		ShardMaxIters:  400,
+		ShardPrimalTol: 1e-10,
+		ShardDualTol:   1e-9,
+	}
+}
+
+// TestShardMatchesDenseSmallInstances is the certified-equality property
+// test of the sharded path: over random instances and shard counts, every
+// slot's assembled sharded decision must match the unsharded dense
+// solve's P2 cost to 1e-8 relative (cross-slot drift removed by coupling
+// the sharded path to the dense decisions).
+func TestShardMatchesDenseSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		in := smallRandomInstance(rng)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		shards := 1 + rng.Intn(in.J+2) // includes S > J (clamped)
+		ultra := ultraTightOpts()
+		gaps := coupledPathGaps(t, in, Options{Solver: ultra}, shardTestOpts(shards))
+		for tt, d := range gaps {
+			if d > 1e-8 {
+				t.Errorf("trial %d (S=%d, I=%d, J=%d): slot %d P2 rel gap %g > 1e-8",
+					trial, shards, in.I, in.J, tt, d)
+			}
+		}
+	}
+}
+
+// TestShardWithCandidatesMatchesDense composes the two reductions: the
+// sharded coordination loop with per-shard certified candidate sets must
+// still land in the dense optimum's tolerance ball (the per-shard pricing
+// pass re-admits anything the seeds miss).
+func TestShardWithCandidatesMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 4; trial++ {
+		in := smallRandomInstance(rng)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		opts := shardTestOpts(1 + rng.Intn(3))
+		opts.Candidates = 2
+		gaps := coupledPathGaps(t, in, Options{Solver: ultraTightOpts()}, opts)
+		for tt, d := range gaps {
+			if d > 1e-8 {
+				t.Errorf("trial %d (S=%d, I=%d, J=%d): slot %d P2 rel gap %g > 1e-8",
+					trial, opts.Shards, in.I, in.J, tt, d)
+			}
+		}
+	}
+}
+
+// TestShardDeterministicForAnyWorkers pins the parallelism contract:
+// with the shard count fixed, the full-horizon schedule must be
+// byte-identical for every Solver.Workers value (shards solve
+// concurrently but their totals reduce in shard index order), and — run
+// to run — for the same worker count.
+func TestShardDeterministicForAnyWorkers(t *testing.T) {
+	oldEval := evalParGrain
+	evalParGrain = 1
+	defer func() { evalParGrain = oldEval }()
+
+	in, _, err := scenario.Rome(scenario.Config{Users: 10, Horizon: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) model.Schedule {
+		opts := Options{Shards: 3, Candidates: 3,
+			Solver: alm.Options{Workers: workers}}
+		s, err := NewOnlineApprox(in, opts).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := run(1)
+	again := run(1)
+	for tt := range base {
+		if !allocsEqual(base[tt], again[tt]) {
+			t.Fatalf("slot %d: two serial runs differ", tt)
+		}
+	}
+	for _, w := range []int{2, 4, 7} {
+		got := run(w)
+		for tt := range base {
+			for k := range base[tt].X {
+				if got[tt].X[k] != base[tt].X[k] {
+					t.Fatalf("workers=%d slot %d: x[%d] = %v != serial %v",
+						w, tt, k, got[tt].X[k], base[tt].X[k])
+				}
+			}
+		}
+	}
+}
+
+// TestShardCountDeterministicRerun requires run-to-run byte-identity at
+// every shard count, including S = 1 (one block plus coordination) and
+// an S larger than J (clamped to one user per shard).
+func TestShardCountDeterministicRerun(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 6, Horizon: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 5, 64} {
+		run := func() model.Schedule {
+			sched, err := NewOnlineApprox(in, Options{Shards: s}).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sched
+		}
+		a, b := run(), run()
+		for tt := range a {
+			if !allocsEqual(a[tt], b[tt]) {
+				t.Fatalf("S=%d slot %d: reruns differ", s, tt)
+			}
+		}
+	}
+}
+
+// TestShardFullRunFeasibleAndCertified runs the sharded path uncoupled
+// over a full horizon and requires everything the dense path guarantees:
+// Theorem-1 feasibility via the conformance oracle, a valid
+// competitive-ratio certificate, and end-to-end cost agreement with the
+// dense run (loosened to 1e-4 by warm-start drift chaining through
+// uncoupled slots).
+func TestShardFullRunFeasibleAndCertified(t *testing.T) {
+	for _, opts := range []Options{
+		shardTestOpts(2),
+		func() Options { o := shardTestOpts(3); o.Candidates = 2; return o }(),
+	} {
+		in := conform.GenInstance(conform.GenConfig{Seed: 11, I: 4, J: 6, T: 4})
+		alg := NewOnlineApprox(in, opts)
+		sched, err := alg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := alg.ShardStats()
+		if st.Slots != in.T || st.CoordIters < in.T {
+			t.Errorf("S=%d: implausible shard stats %+v", opts.Shards, st)
+		}
+		cert, err := alg.Certificate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag := &conform.Diagnostics{
+			HasCertificate: true,
+			LowerBoundP0:   cert.LowerBoundP0(),
+			LowerBoundP1:   cert.LowerBoundP1(),
+			DualResidual:   cert.Feasibility.Max(),
+			NuCharge:       cert.NuCharge,
+			RatioBound:     alg.CompetitiveRatioBound(),
+		}
+		if rep := conform.Check(in, sched, diag, conform.Options{}); !rep.OK() {
+			t.Fatalf("S=%d candidates=%d: %v", opts.Shards, opts.Candidates, rep.Err())
+		}
+
+		dense := NewOnlineApprox(in, Options{Solver: ultraTightOpts()})
+		ds, err := dense.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scost := totalOf(t, in, sched)
+		dcost := totalOf(t, in, ds)
+		if d := math.Abs(scost-dcost) / (1 + math.Abs(dcost)); d > 1e-4 {
+			t.Errorf("S=%d: total cost %g sharded vs %g dense (rel %g)",
+				opts.Shards, scost, dcost, d)
+		}
+	}
+}
+
+// TestStepCtxCancellationShards extends the cancellation contract to the
+// sharded path: aborted coordination loops must leave the committed warm
+// state (block iterates, consensus duals, candidate support) exactly as
+// the previous successful slot wrote it.
+func TestStepCtxCancellationShards(t *testing.T) {
+	in := smallRandomInstance(rand.New(rand.NewSource(41)))
+	testCancellation(t, in, Options{Shards: 2})
+	testCancellation(t, in, Options{Shards: 3, Candidates: 2})
+}

@@ -65,6 +65,13 @@ type Params struct {
 	// (core.Options.FastMathF32) and implies FastMath.
 	FastMath    bool
 	FastMathF32 bool
+	// Shards splits each slot's program across this many user shards
+	// coordinated by the sharing-ADMM loop (core.Options.Shards): shards
+	// solve concurrently under the run's worker budget and the assembled
+	// schedule is certified against the same conformance oracle. 0 keeps
+	// the single-program path, bitwise-unchanged. Composes with
+	// Candidates and FastMath.
+	Shards int
 	// Scenario overrides the default §V-A price/weight knobs (fields at
 	// their zero values keep the scenario defaults).
 	Scenario scenario.Config
@@ -205,6 +212,7 @@ func fastGreedy() *baseline.Greedy {
 type approxAlg struct {
 	eps1, eps2  float64
 	candidates  int
+	shards      int
 	fastMath    bool
 	fastMathF32 bool
 	metrics     *telemetry.SolverMetrics
@@ -217,6 +225,7 @@ func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 		Epsilon1:    a.eps1,
 		Epsilon2:    a.eps2,
 		Candidates:  a.candidates,
+		Shards:      a.shards,
 		FastMath:    a.fastMath,
 		FastMathF32: a.fastMathF32,
 		Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
@@ -230,7 +239,7 @@ var _ sim.Algorithm = approxAlg{}
 
 // approx builds the paper's algorithm adapter under p's knobs.
 func (p Params) approx() approxAlg {
-	return approxAlg{candidates: p.Candidates,
+	return approxAlg{candidates: p.Candidates, shards: p.Shards,
 		fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}
 }
 
@@ -335,6 +344,7 @@ func Fig1(p Params) (*Result, error) {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
 		apRun, err := sim.ExecuteOpts(tc.inst, approxAlg{
+			shards:   p.Shards,
 			fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}, p.simOptions())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
@@ -428,7 +438,7 @@ func Fig4(p Params) (*Result, error) {
 			},
 			Algs: func() []sim.Algorithm {
 				return []sim.Algorithm{approxAlg{
-					eps1: eps, eps2: eps, candidates: p.Candidates,
+					eps1: eps, eps2: eps, candidates: p.Candidates, shards: p.Shards,
 					fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}}
 			},
 		})

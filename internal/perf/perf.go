@@ -173,6 +173,7 @@ func Specs(includeScale bool) []Spec {
 	if includeScale {
 		specs = append(specs, ScaleSpecs()...)
 		specs = append(specs, SparseSpecs()...)
+		specs = append(specs, ShardSpecs()...)
 	}
 	return specs
 }

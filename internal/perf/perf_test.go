@@ -48,13 +48,24 @@ func BenchmarkStepSparse(b *testing.B) {
 	}
 }
 
+// BenchmarkStepShard exposes the sharded-coordination tier; use
+// -bench 'StepShard/I=50,J=5000/S=4' to pick one shard count.
+func BenchmarkStepShard(b *testing.B) {
+	if testing.Short() {
+		b.Skip("sharded tier runs at the flagship and headroom sizes; skipped under -short")
+	}
+	for _, s := range ShardSpecs() {
+		b.Run(strings.TrimPrefix(s.Name, "StepShard/"), s.Bench)
+	}
+}
+
 func TestSpecsAreNamedAndRunnable(t *testing.T) {
 	base := 3 + len(NumKernelSpecs())
 	if n := len(Specs(false)); n != base {
 		t.Fatalf("Specs(false) = %d kernels, want the %d base kernels", n, base)
 	}
 	specs := Specs(true)
-	want := base + len(ScaleSpecs()) + len(SparseSpecs())
+	want := base + len(ScaleSpecs()) + len(SparseSpecs()) + len(ShardSpecs())
 	if len(specs) != want {
 		t.Fatalf("Specs(true) = %d kernels, want %d", len(specs), want)
 	}

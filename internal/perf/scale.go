@@ -48,6 +48,41 @@ const scaleCandidates = 4
 // at the budget a deployment would actually run.
 const scaleCandidateTol = 1.0
 
+// The sharded-tier configuration: the coordination loop runs the same
+// certified candidate path inside each shard, so the shard kernels keep
+// scaleCandidates/scaleCandidateTol and replace the single bounded solve
+// with S per-shard solves under a per-coordination-iteration budget.
+const (
+	// scaleShardBlockOuter/Inner bound each shard's ALM solve per
+	// coordination iteration. The coordination loop re-enters every block
+	// warm, so the per-iteration budget is deliberately small: total work
+	// per slot is (iterations run) x (block budget), and the early-exit
+	// test below stops the loop as soon as the assembled totals are
+	// capacity-safe.
+	scaleShardBlockOuter = 3
+	scaleShardBlockInner = 60
+	// scaleShardRho is the ADMM consensus penalty. Larger values converge
+	// the consensus residual faster per iteration at these sizes (16 beats
+	// 8 beats 4 on the synthetic grid), which matters more than the
+	// slightly stiffer per-block subproblems it induces.
+	scaleShardRho = 16
+	// scaleShardIters caps coordination iterations per slot; steady-state
+	// slots exit after 1-2 under the tolerances below.
+	scaleShardIters = 12
+	// scaleShardPrimalTol is the consensus-residual exit test, set just
+	// under the 1e-4 relative feasibility tolerance the conformance
+	// oracle and the simulation harness check: the primal residual bounds
+	// the assembled schedule's relative capacity violation, so meeting it
+	// certifies the committed slot. scaleShardDualTol matches the bounded
+	// block budget — under inexact block solves the consensus point
+	// jitters at the budget floor, and a tight dual test would read that
+	// jitter as permanent non-convergence (the property tests in
+	// internal/core pin sharded-vs-unsharded equality under tight
+	// budgets; the scaling tier measures deployment-budget throughput).
+	scaleShardPrimalTol = 1e-4
+	scaleShardDualTol   = 5e-2
+)
+
 // ScaleSize is one (I, J) point of the scaling grid. Dense marks the
 // sizes where the O(I²·J) sparse-row reference is also benchmarked; at
 // the larger sizes a single dense solve takes tens of seconds, so the
@@ -318,6 +353,39 @@ func StepSparse(size ScaleSize, k int) func(*testing.B) {
 	}
 }
 
+// StepShard returns the user-sharded coordination kernel at one scaling
+// point: the certified candidate path split across s shards under the
+// sharing-ADMM coordinator (core.Options.Shards), with Solver.Workers = s
+// so shards solve concurrently on a multi-core host. Results are
+// byte-identical for any worker count (the determinism tests in
+// internal/core pin this), so the recorded numbers differ across
+// machines only in wall-clock, like every other kernel.
+func StepShard(size ScaleSize, s int) func(*testing.B) {
+	return func(b *testing.B) {
+		in, err := SyntheticInstance(size.I, size.J, scaleHorizon, scaleSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stepPasses(b, in, shardOptions(s))
+	}
+}
+
+// shardOptions is the sharded-tier solver configuration at shard count s.
+func shardOptions(s int) core.Options {
+	opts := scaleOptions()
+	opts.Candidates = scaleCandidates
+	opts.CandidateTol = scaleCandidateTol
+	opts.Shards = s
+	opts.Solver.MaxOuter = scaleShardBlockOuter
+	opts.Solver.InnerIters = scaleShardBlockInner
+	opts.Solver.Workers = s
+	opts.ShardRho = scaleShardRho
+	opts.ShardMaxIters = scaleShardIters
+	opts.ShardPrimalTol = scaleShardPrimalTol
+	opts.ShardDualTol = scaleShardDualTol
+	return opts
+}
+
 // ScaleSpecName names the kernel for one scaling point and variant
 // ("group", "exact", or "dense").
 func ScaleSpecName(size ScaleSize, variant string) string {
@@ -327,6 +395,11 @@ func ScaleSpecName(size ScaleSize, variant string) string {
 // SparseSpecName names one candidate-size sweep kernel.
 func SparseSpecName(size ScaleSize, k int) string {
 	return fmt.Sprintf("StepSparse/I=%d,J=%d/k=%d", size.I, size.J, k)
+}
+
+// ShardSpecName names one sharded-coordination kernel.
+func ShardSpecName(size ScaleSize, s int) string {
+	return fmt.Sprintf("StepShard/I=%d,J=%d/S=%d", size.I, size.J, s)
 }
 
 // ScaleSpecs lists the scaling-tier kernels: the certified candidate
@@ -360,5 +433,20 @@ func SparseSpecs() []Spec {
 	for _, k := range []int{2, 4, 8} {
 		specs = append(specs, Spec{Name: SparseSpecName(size, k), Bench: StepSparse(size, k)})
 	}
+	return specs
+}
+
+// ShardSpecs lists the sharded-coordination tier: the shard-count sweep
+// at the flagship grid point (S=1 isolates the coordination overhead
+// against the "group" kernel at the same size), plus a J=20000 headroom
+// point the monolithic path cannot reach in comparable time.
+func ShardSpecs() []Spec {
+	flagship := ScaleSize{I: 50, J: 5000}
+	var specs []Spec
+	for _, s := range []int{1, 2, 4, 8} {
+		specs = append(specs, Spec{Name: ShardSpecName(flagship, s), Bench: StepShard(flagship, s)})
+	}
+	headroom := ScaleSize{I: 50, J: 20000}
+	specs = append(specs, Spec{Name: ShardSpecName(headroom, 8), Bench: StepShard(headroom, 8)})
 	return specs
 }

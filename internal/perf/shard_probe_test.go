@@ -1,0 +1,106 @@
+package perf
+
+// Tuning probe for the sharded scaling tier: per-slot timings,
+// coordination iteration counts, residuals, and an end-of-run
+// feasibility check, with every knob overridable from the
+// environment. Run with
+//
+//	SHARD_PROBE=1 go test -run TestShardProbe -v ./internal/perf/
+//
+// and steer with PROBE_I/PROBE_J/PROBE_S, PROBE_BLK_OUTER/
+// PROBE_BLK_INNER (block solver budget), PROBE_RHO/PROBE_COORD/
+// PROBE_PTOL/PROBE_DTOL (coordination), and PROBE_SKIP_GROUP=1 to
+// drop the single-program reference run. Defaults mirror the
+// committed StepShard tier (scaleShard* constants), so a bare run
+// reproduces the recorded configuration.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"edgealloc/internal/core"
+	"edgealloc/internal/model"
+)
+
+func probeEnvInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		n, err := strconv.Atoi(v)
+		if err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func probeEnvFloat(name string, def float64) float64 {
+	if v := os.Getenv(name); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+func TestShardProbe(t *testing.T) {
+	if os.Getenv("SHARD_PROBE") == "" {
+		t.Skip("set SHARD_PROBE=1 to run the tuning probe")
+	}
+	I := probeEnvInt("PROBE_I", 50)
+	J := probeEnvInt("PROBE_J", 1000)
+	in, err := SyntheticInstance(I, J, scaleHorizon, scaleSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(name string, opts core.Options) {
+		alg := core.NewOnlineApprox(in, opts)
+		sched := make(model.Schedule, 0, in.T)
+		var steady time.Duration
+		for tt := 0; tt < in.T; tt++ {
+			start := time.Now()
+			x, err := alg.Step(tt)
+			el := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tt >= 2 {
+				steady += el
+			}
+			sched = append(sched, x)
+			d := alg.LastStepDiag()
+			fmt.Printf("%-10s slot %d: %7.3fs outer=%4d inner=%6d conv=%v coord=%d resid=%.2e rounds=%d nnz=%d\n",
+				name, tt, el.Seconds(), d.Outer, d.Inner, d.Converged,
+				d.ShardIters, d.ShardResidual, d.CandRounds, d.CandNNZ)
+		}
+		b, err := in.Evaluate(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feas := "ok"
+		if err := in.CheckFeasible(sched, 1e-4); err != nil {
+			feas = err.Error()
+		}
+		fmt.Printf("%-10s steady=%7.3fs cost=%.6f feas=%s\n\n", name, steady.Seconds(), in.Total(b), feas)
+	}
+
+	if os.Getenv("PROBE_SKIP_GROUP") == "" {
+		g := scaleOptions()
+		g.Candidates = scaleCandidates
+		g.CandidateTol = scaleCandidateTol
+		run("group", g)
+	}
+
+	S := probeEnvInt("PROBE_S", 4)
+	sh := shardOptions(S)
+	sh.Solver.MaxOuter = probeEnvInt("PROBE_BLK_OUTER", scaleShardBlockOuter)
+	sh.Solver.InnerIters = probeEnvInt("PROBE_BLK_INNER", scaleShardBlockInner)
+	sh.ShardRho = probeEnvFloat("PROBE_RHO", scaleShardRho)
+	sh.ShardMaxIters = probeEnvInt("PROBE_COORD", scaleShardIters)
+	sh.ShardPrimalTol = probeEnvFloat("PROBE_PTOL", scaleShardPrimalTol)
+	sh.ShardDualTol = probeEnvFloat("PROBE_DTOL", scaleShardDualTol)
+	run(fmt.Sprintf("shard S=%d", S), sh)
+}

@@ -71,6 +71,11 @@ type Config struct {
 	// ratio scratch in float32 and implies FastMath.
 	FastMath    bool
 	FastMathF32 bool
+	// Shards makes every session split its per-slot solve across this
+	// many user shards under the consensus-ADMM coordinator
+	// (core.Options.Shards); per-session options can also request a
+	// (larger) shard count. 0 keeps the single-program path.
+	Shards int
 	// Registry receives the daemon's metrics; a private registry is
 	// created when nil.
 	Registry *telemetry.Registry

@@ -97,20 +97,25 @@ type solverOptions struct {
 	// session (costs agree with the exact path to 1e-8); FastMathF32
 	// additionally stores the ratio scratch in float32 and implies
 	// FastMath. Both also turn on when the daemon runs with -fastmath.
-	FastMath    bool    `json:"fastMath,omitempty"`
-	FastMathF32 bool    `json:"fastMathF32,omitempty"`
-	MaxOuter    int     `json:"maxOuter,omitempty"`
-	InnerIters  int     `json:"innerIters,omitempty"`
-	Workers     int     `json:"workers,omitempty"`
-	FeasTol     float64 `json:"feasTol,omitempty"`
-	ObjTol      float64 `json:"objTol,omitempty"`
-	DualTol     float64 `json:"dualTol,omitempty"`
-	Penalty     float64 `json:"penalty,omitempty"`
+	FastMath    bool `json:"fastMath,omitempty"`
+	FastMathF32 bool `json:"fastMathF32,omitempty"`
+	// Shards splits each slot's solve across this many user shards
+	// coordinated by consensus ADMM (core.Options.Shards); 0 keeps the
+	// single-program path. Also turns on when the daemon runs with
+	// -shards. Composes with candidates and fastMath.
+	Shards     int     `json:"shards,omitempty"`
+	MaxOuter   int     `json:"maxOuter,omitempty"`
+	InnerIters int     `json:"innerIters,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	FeasTol    float64 `json:"feasTol,omitempty"`
+	ObjTol     float64 `json:"objTol,omitempty"`
+	DualTol    float64 `json:"dualTol,omitempty"`
+	Penalty    float64 `json:"penalty,omitempty"`
 }
 
 func (o solverOptions) validate() error {
 	if o.Epsilon1 < 0 || o.Epsilon2 < 0 || o.Candidates < 0 || o.CandidateTol < 0 ||
-		o.MaxOuter < 0 || o.InnerIters < 0 || o.Workers < 0 ||
+		o.Shards < 0 || o.MaxOuter < 0 || o.InnerIters < 0 || o.Workers < 0 ||
 		o.FeasTol < 0 || o.ObjTol < 0 || o.DualTol < 0 || o.Penalty < 0 {
 		return errors.New("solver options must be nonnegative")
 	}
@@ -125,6 +130,7 @@ func (o solverOptions) coreOptions(srv *Server) core.Options {
 		CandidateTol: o.CandidateTol,
 		FastMath:     o.FastMath || srv.cfg.FastMath,
 		FastMathF32:  o.FastMathF32 || srv.cfg.FastMathF32,
+		Shards:       max(o.Shards, srv.cfg.Shards),
 		Solver: alm.Options{
 			MaxOuter:   o.MaxOuter,
 			InnerIters: o.InnerIters,
@@ -178,6 +184,8 @@ type solveDiag struct {
 	CandidateRounds int     `json:"candidateRounds,omitempty"`
 	CandidatePairs  int     `json:"candidateExpandedPairs,omitempty"`
 	CandidateNNZ    int     `json:"candidateNNZ,omitempty"`
+	ShardIterations int     `json:"shardIterations,omitempty"`
+	ShardResidual   float64 `json:"shardResidual,omitempty"`
 }
 
 func diagDTO(d core.StepDiag) solveDiag {
@@ -189,6 +197,8 @@ func diagDTO(d core.StepDiag) solveDiag {
 		CandidateRounds: d.CandRounds,
 		CandidatePairs:  d.CandExpanded,
 		CandidateNNZ:    d.CandNNZ,
+		ShardIterations: d.ShardIters,
+		ShardResidual:   d.ShardResidual,
 	}
 }
 

@@ -17,6 +17,9 @@ import "strconv"
 //	edgealloc_solver_candidate_nnz                 gauge    Σ_j|K_j| of the last certified solve
 //	edgealloc_solver_logcache_hits_total           counter  migration-log memo-cache hits (exact path)
 //	edgealloc_solver_logcache_misses_total         counter  migration-log memo-cache misses (exact path)
+//	edgealloc_solver_shard_outer_iterations_total  counter  shard coordination (dual-ascent) iterations
+//	edgealloc_solver_shard_max_residual            gauge    final consensus/capacity residual of the last slot
+//	edgealloc_solver_shard_solve_seconds           histogram per-shard cumulative solve time per slot
 //	edgealloc_cloud_utilization{cloud=i}           gauge    Σ_j x_{i,j,t}/C_i at the last solved slot
 //	edgealloc_conform_violations_total{kind=k}     counter  oracle findings by guarantee kind
 //	edgealloc_sim_runs_total                       counter  completed harness runs
@@ -36,6 +39,9 @@ type SolverMetrics struct {
 	CandNNZ      *Gauge
 	LogHits      *Counter
 	LogMisses    *Counter
+	ShardIters   *Counter
+	ShardResid   *Gauge
+	ShardSolve   *Histogram
 	CloudUtil    *GaugeVec
 	ConformViol  *CounterVec
 	SimRuns      *Counter
@@ -65,6 +71,12 @@ func NewSolverMetrics(r *Registry) *SolverMetrics {
 			"Migration-entropy log memo-cache hits on the exact evaluation path (zero under FastMath)."),
 		LogMisses: r.Counter("edgealloc_solver_logcache_misses_total",
 			"Migration-entropy log memo-cache misses (fresh math.Log calls) on the exact evaluation path."),
+		ShardIters: r.Counter("edgealloc_solver_shard_outer_iterations_total",
+			"Shard-coordination outer dual-ascent iterations (zero when sharding is off)."),
+		ShardResid: r.Gauge("edgealloc_solver_shard_max_residual",
+			"Final max consensus/capacity residual of the most recent sharded slot."),
+		ShardSolve: r.Histogram("edgealloc_solver_shard_solve_seconds",
+			"Per-shard cumulative subproblem solve time within one slot, in seconds.", nil),
 		CloudUtil: r.GaugeVec("edgealloc_cloud_utilization",
 			"Per-cloud utilization sum_j x_ij / C_i at the most recent solved slot.", "cloud"),
 		ConformViol: r.CounterVec("edgealloc_conform_violations_total",
@@ -99,6 +111,20 @@ func (m *SolverMetrics) ObserveCandidates(rounds, expandedPairs, finalNNZ int) {
 	m.CandRounds.Add(float64(rounds))
 	m.CandExpanded.Add(float64(expandedPairs))
 	m.CandNNZ.Set(float64(finalNNZ))
+}
+
+// ObserveShards records one sharded slot's coordination work: outer
+// dual-ascent iterations, the final consensus/capacity residual, and each
+// shard's cumulative solve time.
+func (m *SolverMetrics) ObserveShards(iters int, maxResidual float64, blockSeconds []float64) {
+	if m == nil {
+		return
+	}
+	m.ShardIters.Add(float64(iters))
+	m.ShardResid.Set(maxResidual)
+	for _, s := range blockSeconds {
+		m.ShardSolve.Observe(s)
+	}
 }
 
 // ObserveLogCache records one slot's migration-log memo-cache outcomes
