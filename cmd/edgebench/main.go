@@ -49,12 +49,16 @@ func run() int {
 			"with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
 		shards = flag.Int("shards", 0,
 			"split the paper algorithm's per-slot solve across this many user shards coordinated by consensus ADMM in the ablations (0 = single program; composes with -candidates and -fastmath)")
+		incr = flag.Bool("incremental", false,
+			"solve the paper algorithm's slots incrementally in the ablations: re-solve only users whose attachment changed, gated by dual feasibility")
+		incrTol = flag.Float64("incremental-tol", 0,
+			"relative dual-feasibility tolerance of the incremental gate (0 = package default)")
 		benchjson = flag.String("benchjson", "",
 			"run the solver microbenchmarks and write machine-readable JSON to this file (e.g. BENCH_solver.json), skipping the ablations")
 		benchdiff = flag.String("benchdiff", "",
 			"run the solver microbenchmarks and compare against this baseline JSON, exiting nonzero if any kernel regressed more than 25% ns/op or grew its allocs/op past the gate")
 		scale = flag.Bool("scale", false,
-			"include the StepScale/StepSparse/StepShard scaling tier in -benchjson/-benchdiff (adds tens of minutes)")
+			"include the StepScale/StepSparse/StepShard/StepChurn scaling tier in -benchjson/-benchdiff (adds tens of minutes)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -118,15 +122,17 @@ func run() int {
 	}
 
 	p := experiments.Params{
-		Users:       *users,
-		Horizon:     *horizon,
-		Reps:        *reps,
-		Seed:        *seed,
-		Workers:     *workers,
-		Candidates:  *candidates,
-		Shards:      *shards,
-		FastMath:    *fastmath,
-		FastMathF32: *fastmath32,
+		Users:          *users,
+		Horizon:        *horizon,
+		Reps:           *reps,
+		Seed:           *seed,
+		Workers:        *workers,
+		Candidates:     *candidates,
+		Shards:         *shards,
+		FastMath:       *fastmath,
+		FastMathF32:    *fastmath32,
+		Incremental:    *incr,
+		IncrementalTol: *incrTol,
 	}
 	studies := []string{*ablation}
 	if *ablation == "all" {

@@ -40,6 +40,8 @@ func run(args []string, errw io.Writer) int {
 		fastmath    = fs.Bool("fastmath", false, "solve every session with the batch fast-math entropy kernels (costs agree with the exact path to 1e-8)")
 		fastmath32  = fs.Bool("fastmath32", false, "with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
 		shards      = fs.Int("shards", 0, "split every session's per-slot solve across this many user shards coordinated by consensus ADMM (0 = single program)")
+		incremental = fs.Bool("incremental", false, "solve every session's slots incrementally: re-solve only users whose attachment changed, gated by dual feasibility")
+		incrTol     = fs.Float64("incremental-tol", 0, "relative dual-feasibility tolerance of the incremental gate (0 = package default)")
 		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,16 +55,18 @@ func run(args []string, errw io.Writer) int {
 	log := slog.New(handler)
 
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		SessionQueue: *sessionQ,
-		MaxSessions:  *maxSessions,
-		SessionTTL:   *sessionTTL,
-		StepTimeout:  *stepTimeout,
-		FastMath:     *fastmath,
-		FastMathF32:  *fastmath32,
-		Shards:       *shards,
-		Logger:       log,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SessionQueue:   *sessionQ,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
+		StepTimeout:    *stepTimeout,
+		FastMath:       *fastmath,
+		FastMathF32:    *fastmath32,
+		Shards:         *shards,
+		Incremental:    *incremental,
+		IncrementalTol: *incrTol,
+		Logger:         log,
 	})
 
 	httpSrv := &http.Server{

@@ -6,6 +6,7 @@
 //
 //	tracegen -model taxi -users 50 -horizon 60            # summary
 //	tracegen -model walk -users 20 -horizon 30 -format csv > trace.csv
+//	tracegen -model churn -users 100 -churn 0.05          # exact 5% churn
 package main
 
 import (
@@ -29,10 +30,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		modelName = fs.String("model", "taxi", "mobility model: taxi or walk")
+		modelName = fs.String("model", "taxi", "mobility model: taxi, walk, or churn")
 		users     = fs.Int("users", 50, "number of users")
 		horizon   = fs.Int("horizon", 60, "number of one-minute slots")
 		seed      = fs.Int64("seed", 1, "random seed")
+		churn     = fs.Float64("churn", 0.05, "exact per-slot switch fraction for -model churn")
 		format    = fs.String("format", "summary", "output: summary or csv")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -43,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	tr, err := buildTrace(*modelName, *users, *horizon, *seed)
+	tr, err := buildTrace(*modelName, *users, *horizon, *seed, *churn)
 	if err != nil {
 		fmt.Fprintf(stderr, "tracegen: %v\n", err)
 		return 1
@@ -78,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func buildTrace(model string, users, horizon int, seed int64) (*mobility.Trace, error) {
+func buildTrace(model string, users, horizon int, seed int64, churn float64) (*mobility.Trace, error) {
 	rng := rand.New(rand.NewSource(seed))
 	switch model {
 	case "taxi":
@@ -86,7 +88,10 @@ func buildTrace(model string, users, horizon int, seed int64) (*mobility.Trace, 
 			mobility.StationPoints(), rng)
 	case "walk":
 		return mobility.RandomWalk(mobility.RomeMetroAdjacency(), users, horizon, rng)
+	case "churn":
+		return mobility.Churn(mobility.ChurnConfig{Users: users, Horizon: horizon,
+			Stations: len(mobility.RomeStations), Rate: churn}, rng)
 	default:
-		return nil, fmt.Errorf("unknown model %q (want taxi or walk)", model)
+		return nil, fmt.Errorf("unknown model %q (want taxi, walk, or churn)", model)
 	}
 }

@@ -66,12 +66,27 @@ func TestRunCSV(t *testing.T) {
 	}
 }
 
+func TestRunChurnModel(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-model", "churn", "-users", "10", "-horizon", "21", "-churn", "0.2"}
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr %q", got, stderr.String())
+	}
+	// ⌈0.2·10⌉ = 2 movers per slot over 10 users → exactly 0.2.
+	if !strings.Contains(stdout.String(), "churn rate: 0.2000") {
+		t.Errorf("summary %q missing exact churn rate 0.2000", stdout.String())
+	}
+	if got := run([]string{"-model", "churn", "-churn", "1.5"}, &stdout, &stderr); got != 1 {
+		t.Errorf("out-of-range churn rate: exit %d, want 1", got)
+	}
+}
+
 func TestBuildTraceDeterministic(t *testing.T) {
-	a, err := buildTrace("taxi", 4, 5, 9)
+	a, err := buildTrace("taxi", 4, 5, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := buildTrace("taxi", 4, 5, 9)
+	b, err := buildTrace("taxi", 4, 5, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgealloc/internal/conform"
+	"edgealloc/internal/model"
+	"edgealloc/internal/scenario"
+	"edgealloc/internal/solver/alm"
+)
+
+// incrTightOpts returns the incremental tier pinned to the certified
+// envelope: the soundness gate runs at 1e-9 relative, so a frozen user
+// survives only when its carried column is KKT-stationary to solver
+// precision and the incremental decision lands in the same tolerance
+// ball as the full re-solve.
+func incrTightOpts() Options {
+	return Options{Solver: ultraTightOpts(), Incremental: true, IncrementalTol: 1e-9}
+}
+
+// withChurn rewrites the instance's mobility so that exactly
+// ⌈churn·J⌉ users re-attach at every slot t ≥ 1 (a rotating window, so
+// every user eventually moves at churn > 0) and everyone else keeps the
+// previous slot's attachment. churn = 0 pins every trace flat; churn = 1
+// re-attaches everyone. Prices keep whatever per-slot values the base
+// generator drew, so the soundness gate — not the delta detector — is
+// what keeps frozen users honest under price drift.
+func withChurn(in *model.Instance, churn float64, rng *rand.Rand) {
+	movers := int(math.Ceil(churn * float64(in.J)))
+	for t := 1; t < in.T; t++ {
+		copy(in.Attach[t], in.Attach[t-1])
+		for m := 0; m < movers; m++ {
+			j := ((t-1)*movers + m) % in.J
+			in.Attach[t][j] = rng.Intn(in.I)
+		}
+	}
+}
+
+// flattenPrices pins every slot's operation prices (and access delays)
+// to slot 0's, removing all per-slot drift: with churn 0 the program
+// becomes slot-stationary and the carried decision converges to its
+// regularized fixed point.
+func flattenPrices(in *model.Instance) {
+	for t := 1; t < in.T; t++ {
+		copy(in.OpPrice[t], in.OpPrice[0])
+		copy(in.AccessDelay[t], in.AccessDelay[0])
+	}
+}
+
+// TestIncrementalMatchesFullAcrossChurn is the certified-equality
+// property of the incremental tier: at every churn rate — including the
+// 0% edge where everything freezes and the 100% edge where nothing does
+// — the slot-coupled incremental decision must match the full solve's
+// P2 cost to 1e-8 relative. Prices re-draw every slot, so at low churn
+// the gate must re-admit whoever the drift actually moved.
+func TestIncrementalMatchesFullAcrossChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	for _, churn := range []float64{0, 0.25, 1} {
+		for trial := 0; trial < 6; trial++ {
+			in := smallRandomInstance(rng)
+			withChurn(in, churn, rng)
+			if err := in.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			gaps := coupledPathGaps(t, in, Options{Solver: ultraTightOpts()}, incrTightOpts())
+			for tt, d := range gaps {
+				if d > 1e-8 {
+					t.Errorf("churn=%g trial %d slot %d (I=%d J=%d): P2 rel gap %g > 1e-8",
+						churn, trial, tt, in.I, in.J, d)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalStationaryFreezes pins the point of the tier: on a
+// slot-stationary instance (0% churn, flat prices) the carried decision
+// reaches its regularized fixed point within a couple of slots, after
+// which the gate certifies whole slots without a single reduced solve.
+// The run must still be Theorem-1 feasible and match the plain
+// candidate path's total cost.
+func TestIncrementalStationaryFreezes(t *testing.T) {
+	rng := rand.New(rand.NewSource(829))
+	in := smallRandomInstance(rng)
+	in.T = 8
+	for len(in.OpPrice) < in.T {
+		in.OpPrice = append(in.OpPrice, append([]float64(nil), in.OpPrice[0]...))
+		in.Attach = append(in.Attach, append([]int(nil), in.Attach[0]...))
+		in.AccessDelay = append(in.AccessDelay, append([]float64(nil), in.AccessDelay[0]...))
+	}
+	withChurn(in, 0, rng)
+	flattenPrices(in)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	incr := NewOnlineApprox(in, Options{Solver: tightOpts(), Incremental: true, IncrementalTol: 1e-3})
+	sched, err := incr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckFeasible(sched, feasTol); err != nil {
+		t.Fatalf("incremental schedule infeasible: %v", err)
+	}
+	st := incr.SparseStats()
+	if st.Frozen == 0 {
+		t.Errorf("stationary instance froze no users (stats %+v)", st)
+	}
+	// Late slots must certify entirely from the carried decision: total
+	// frozen user-slots should approach (T-1)·J as the fixed point locks.
+	if st.Frozen < in.J {
+		t.Errorf("only %d frozen user-slots over %d stationary slots of %d users",
+			st.Frozen, in.T-1, in.J)
+	}
+
+	full := NewOnlineApprox(in, Options{Solver: tightOpts()})
+	fs, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := totalOf(t, in, sched)
+	fc := totalOf(t, in, fs)
+	if d := math.Abs(ic-fc) / (1 + math.Abs(fc)); d > 1e-3 {
+		t.Errorf("total cost %g incremental vs %g full (rel %g) at gate tol 1e-3", ic, fc, d)
+	}
+}
+
+// TestIncrementalForcedReadmission pins the gate itself: on the
+// expansion instance the user never changes attachment — the delta
+// detector sees nothing — but slot 1 spikes the attached cloud's price
+// so hard that the true optimum migrates. Only a gate violation can
+// re-admit the frozen user, and the result must still match the dense
+// solve.
+func TestIncrementalForcedReadmission(t *testing.T) {
+	in := expansionInstance()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	incr := NewOnlineApprox(in, Options{Solver: tightOpts(), Incremental: true, IncrementalTol: 1e-9})
+	is, err := incr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := incr.SparseStats()
+	if st.Readmitted == 0 {
+		t.Errorf("gate re-admitted no users; soundness path untested (stats %+v)", st)
+	}
+	dense := NewOnlineApprox(in, Options{Solver: tightOpts()})
+	ds, err := dense.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range ds {
+		for k := range ds[tt].X {
+			if d := math.Abs(is[tt].X[k] - ds[tt].X[k]); d > 1e-5 {
+				t.Errorf("slot %d: x[%d] = %g incremental vs %g dense", tt, k, is[tt].X[k], ds[tt].X[k])
+			}
+		}
+	}
+}
+
+// TestIncrementalConformAcrossChurn closes the loop with the oracle: the
+// incremental path's full runs at every churn rate must pass the
+// conformance check, competitive-ratio certificate included — the
+// assembled [θ | ρ | ν] duals of gated slots are real dual points, not
+// bookkeeping.
+func TestIncrementalConformAcrossChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(857))
+	for _, churn := range []float64{0, 0.5, 1} {
+		in := smallRandomInstance(rng)
+		withChurn(in, churn, rng)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		alg := NewOnlineApprox(in, Options{Solver: tightOpts(), Incremental: true, IncrementalTol: 1e-9})
+		sched, err := alg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert, err := alg.Certificate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag := &conform.Diagnostics{
+			HasCertificate: true,
+			LowerBoundP0:   cert.LowerBoundP0(),
+			LowerBoundP1:   cert.LowerBoundP1(),
+			DualResidual:   cert.Feasibility.Max(),
+			NuCharge:       cert.NuCharge,
+			RatioBound:     alg.CompetitiveRatioBound(),
+		}
+		if rep := conform.Check(in, sched, diag, conform.Options{}); !rep.OK() {
+			t.Errorf("churn=%g: %v", churn, rep.Err())
+		}
+	}
+}
+
+// TestIncrementalWorkersByteIdentical extends the determinism contract
+// to the incremental tier: with the gating grain forced down, the run
+// must be bitwise-identical for any Solver.Workers value.
+func TestIncrementalWorkersByteIdentical(t *testing.T) {
+	oldEval := evalParGrain
+	evalParGrain = 1
+	defer func() { evalParGrain = oldEval }()
+
+	in, _, err := scenario.Rome(scenario.Config{Users: 10, Horizon: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) model.Schedule {
+		alg := NewOnlineApprox(in, Options{Candidates: 3, Incremental: true,
+			Solver: alm.Options{Workers: workers}})
+		s, err := alg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 7} {
+		got := run(w)
+		for tt := range base {
+			for k := range base[tt].X {
+				if got[tt].X[k] != base[tt].X[k] {
+					t.Fatalf("workers=%d slot %d: x[%d] = %v != serial %v",
+						w, tt, k, got[tt].X[k], base[tt].X[k])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalShardCompose composes the tier with the sharded path:
+// for every shard count the block-frozen incremental solve must land in
+// the dense optimum's tolerance ball (slot-coupled, 1e-8), and
+// repeating a configuration must reproduce it bitwise.
+func TestIncrementalShardCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(877))
+	in := smallRandomInstance(rng)
+	withChurn(in, 0.3, rng)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		opts := shardTestOpts(shards)
+		opts.Incremental = true
+		opts.IncrementalTol = 1e-9
+		gaps := coupledPathGaps(t, in, Options{Solver: ultraTightOpts()}, opts)
+		for tt, d := range gaps {
+			if d > 1e-8 {
+				t.Errorf("S=%d slot %d (I=%d J=%d): P2 rel gap %g > 1e-8",
+					shards, tt, in.I, in.J, d)
+			}
+		}
+		a, err := NewOnlineApprox(in, opts).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewOnlineApprox(in, opts).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := range a {
+			if !allocsEqual(a[tt], b[tt]) {
+				t.Fatalf("S=%d slot %d: repeated incremental sharded run differs bitwise", shards, tt)
+			}
+		}
+	}
+}
+
+// TestIncrementalShardFreezesBlocks pins block-level freezing: with the
+// churn confined to the first half of the user range, the second
+// shard's block stays untouched and must be held frozen on a
+// slot-stationary tail (flat prices, loose gate), skipping its block
+// solves entirely while the run stays feasible.
+func TestIncrementalShardFreezesBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(883))
+	var in *model.Instance
+	for in == nil || in.J < 4 {
+		in = smallRandomInstance(rng)
+	}
+	in.T = 8
+	for len(in.OpPrice) < in.T {
+		in.OpPrice = append(in.OpPrice, append([]float64(nil), in.OpPrice[0]...))
+		in.Attach = append(in.Attach, append([]int(nil), in.Attach[0]...))
+		in.AccessDelay = append(in.AccessDelay, append([]float64(nil), in.AccessDelay[0]...))
+	}
+	flattenPrices(in)
+	// Churn only within the first half of the user range; the second
+	// shard's block sees identical attachments every slot.
+	half := in.J / 2
+	for t2 := 1; t2 < in.T; t2++ {
+		copy(in.Attach[t2], in.Attach[t2-1])
+		in.Attach[t2][(t2-1)%half] = rng.Intn(in.I)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opts := shardTestOpts(2)
+	opts.Incremental = true
+	opts.IncrementalTol = 1e-3
+	alg := NewOnlineApprox(in, opts)
+	sched, err := alg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckFeasible(sched, feasTol); err != nil {
+		t.Fatalf("block-frozen schedule infeasible: %v", err)
+	}
+	if st := alg.ShardStats(); st.Frozen == 0 {
+		t.Errorf("untouched block never froze (stats %+v)", st)
+	}
+}
+
+// TestStepCtxCancellationIncremental extends the cancellation contract
+// to the incremental tier: aborted solves must leave the warm-dual and
+// frozen-set state retryable, with the eventual schedule bitwise equal
+// to the uncancelled reference.
+func TestStepCtxCancellationIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	in := smallRandomInstance(rng)
+	withChurn(in, 0.3, rng)
+	testCancellation(t, in, Options{Incremental: true, IncrementalTol: 1e-9})
+}

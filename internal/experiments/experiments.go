@@ -72,6 +72,14 @@ type Params struct {
 	// the single-program path, bitwise-unchanged. Composes with
 	// Candidates and FastMath.
 	Shards int
+	// Incremental turns on event-driven incremental slot solving
+	// (core.Options.Incremental): each slot re-solves only the users
+	// whose attachment changed, holding everyone else at their warm
+	// iterates behind a dual-feasibility gate that re-admits any user it
+	// cannot certify. IncrementalTol overrides the gate tolerance (0 =
+	// package default). Composes with Candidates, FastMath, and Shards.
+	Incremental    bool
+	IncrementalTol float64
 	// Scenario overrides the default §V-A price/weight knobs (fields at
 	// their zero values keep the scenario defaults).
 	Scenario scenario.Config
@@ -210,24 +218,28 @@ func fastGreedy() *baseline.Greedy {
 // approxAlg adapts the paper's algorithm to the sim.Algorithm interface
 // with a fresh state and the experiment solver profile per Solve.
 type approxAlg struct {
-	eps1, eps2  float64
-	candidates  int
-	shards      int
-	fastMath    bool
-	fastMathF32 bool
-	metrics     *telemetry.SolverMetrics
+	eps1, eps2     float64
+	candidates     int
+	shards         int
+	fastMath       bool
+	fastMathF32    bool
+	incremental    bool
+	incrementalTol float64
+	metrics        *telemetry.SolverMetrics
 }
 
 func (a approxAlg) Name() string { return "online-approx" }
 
 func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 	alg := core.NewOnlineApprox(in, core.Options{
-		Epsilon1:    a.eps1,
-		Epsilon2:    a.eps2,
-		Candidates:  a.candidates,
-		Shards:      a.shards,
-		FastMath:    a.fastMath,
-		FastMathF32: a.fastMathF32,
+		Epsilon1:       a.eps1,
+		Epsilon2:       a.eps2,
+		Candidates:     a.candidates,
+		Shards:         a.shards,
+		FastMath:       a.fastMath,
+		FastMathF32:    a.fastMathF32,
+		Incremental:    a.incremental,
+		IncrementalTol: a.incrementalTol,
 		Solver: alm.Options{MaxOuter: 40, InnerIters: 600,
 			FeasTol: 1e-7, DualTol: 1e-3, ObjTol: 1e-8, Penalty: 2},
 		Metrics: a.metrics,
@@ -240,7 +252,9 @@ var _ sim.Algorithm = approxAlg{}
 // approx builds the paper's algorithm adapter under p's knobs.
 func (p Params) approx() approxAlg {
 	return approxAlg{candidates: p.Candidates, shards: p.Shards,
-		fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}
+		fastMath: p.FastMath, fastMathF32: p.FastMathF32,
+		incremental: p.Incremental, incrementalTol: p.IncrementalTol,
+		metrics: p.Metrics}
 }
 
 // aggregate converts per-rep ratio maps into sorted cells.
@@ -345,7 +359,9 @@ func Fig1(p Params) (*Result, error) {
 		}
 		apRun, err := sim.ExecuteOpts(tc.inst, approxAlg{
 			shards:   p.Shards,
-			fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}, p.simOptions())
+			fastMath: p.FastMath, fastMathF32: p.FastMathF32,
+			incremental: p.Incremental, incrementalTol: p.IncrementalTol,
+			metrics: p.Metrics}, p.simOptions())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
@@ -439,7 +455,9 @@ func Fig4(p Params) (*Result, error) {
 			Algs: func() []sim.Algorithm {
 				return []sim.Algorithm{approxAlg{
 					eps1: eps, eps2: eps, candidates: p.Candidates, shards: p.Shards,
-					fastMath: p.FastMath, fastMathF32: p.FastMathF32, metrics: p.Metrics}}
+					fastMath: p.FastMath, fastMathF32: p.FastMathF32,
+					incremental: p.Incremental, incrementalTol: p.IncrementalTol,
+					metrics: p.Metrics}}
 			},
 		})
 	}

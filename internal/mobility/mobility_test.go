@@ -2,6 +2,7 @@ package mobility
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -204,5 +205,45 @@ func TestChurnRateEdgeCases(t *testing.T) {
 	tr2 := &Trace{T: 2, J: 2, Attach: [][]int{{0, 1}, {1, 1}}}
 	if c := tr2.ChurnRate(); c != 0.5 {
 		t.Errorf("churn = %g, want 0.5", c)
+	}
+}
+
+func TestChurnTraceExactRate(t *testing.T) {
+	for _, rate := range []float64{0, 0.05, 0.25, 1} {
+		rng := rand.New(rand.NewSource(3))
+		tr, err := Churn(ChurnConfig{Users: 40, Horizon: 20, Stations: 6, Rate: rate}, rng)
+		if err != nil {
+			t.Fatalf("rate %g: %v", rate, err)
+		}
+		// Every mover lands on a different station, so the measured churn
+		// is exactly ⌈rate·J⌉/J.
+		want := math.Ceil(rate*40) / 40
+		if got := tr.ChurnRate(); got != want {
+			t.Errorf("rate %g: measured churn %g, want exactly %g", rate, got, want)
+		}
+		for tt := range tr.AccessKm {
+			for j, d := range tr.AccessKm[tt] {
+				if d != 0 {
+					t.Fatalf("slot %d user %d: access %g, want 0", tt, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestChurnRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []ChurnConfig{
+		{Users: 0, Horizon: 5, Stations: 3, Rate: 0.1},
+		{Users: 5, Horizon: 0, Stations: 3, Rate: 0.1},
+		{Users: 5, Horizon: 5, Stations: 0, Rate: 0},
+		{Users: 5, Horizon: 5, Stations: 1, Rate: 0.1}, // no second station to move to
+		{Users: 5, Horizon: 5, Stations: 3, Rate: -0.1},
+		{Users: 5, Horizon: 5, Stations: 3, Rate: 1.01},
+	}
+	for _, cfg := range bad {
+		if _, err := Churn(cfg, rng); !errors.Is(err, ErrBadTraceConfig) {
+			t.Errorf("Churn(%+v) err = %v, want ErrBadTraceConfig", cfg, err)
+		}
 	}
 }

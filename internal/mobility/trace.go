@@ -92,6 +92,60 @@ func RandomWalk(adj [][]int, users, horizon int, rng *rand.Rand) (*Trace, error)
 	return tr, nil
 }
 
+// ChurnConfig parameterizes the controlled-churn synthetic trace: a
+// mobility pattern whose per-slot switching intensity is an exact input
+// rather than an emergent property, which is what the incremental
+// solving tier's churn-proportional claims are measured against.
+type ChurnConfig struct {
+	// Users is the number of users, Horizon the number of slots.
+	Users, Horizon int
+	// Stations is the number of attachment points (clouds). Rate > 0
+	// requires at least two, or no user could ever switch.
+	Stations int
+	// Rate is the fraction of users that switch attachment at every slot
+	// transition, in [0, 1]. Exactly ⌈Rate·Users⌉ users move per slot —
+	// a rotating window, so every user eventually moves at any Rate > 0
+	// — and each mover lands on a uniformly random *different* station,
+	// making Trace.ChurnRate reproduce Rate exactly (up to the ceiling).
+	Rate float64
+}
+
+// Churn generates a trace with exactly controlled attachment churn:
+// slot 0 attaches every user uniformly at random; every later slot
+// re-attaches the next ⌈Rate·Users⌉ users in a rotating window and
+// keeps everyone else in place. Access delay is zero, as in RandomWalk.
+func Churn(cfg ChurnConfig, rng *rand.Rand) (*Trace, error) {
+	if cfg.Users <= 0 || cfg.Horizon <= 0 || cfg.Stations <= 0 ||
+		cfg.Rate < 0 || cfg.Rate > 1 || (cfg.Rate > 0 && cfg.Stations < 2) {
+		return nil, fmt.Errorf("%w: users=%d horizon=%d stations=%d rate=%g",
+			ErrBadTraceConfig, cfg.Users, cfg.Horizon, cfg.Stations, cfg.Rate)
+	}
+	movers := int(math.Ceil(cfg.Rate * float64(cfg.Users)))
+	tr := &Trace{T: cfg.Horizon, J: cfg.Users}
+	for t := 0; t < cfg.Horizon; t++ {
+		att := make([]int, cfg.Users)
+		acc := make([]float64, cfg.Users)
+		if t == 0 {
+			for j := range att {
+				att[j] = rng.Intn(cfg.Stations)
+			}
+		} else {
+			copy(att, tr.Attach[t-1])
+			for m := 0; m < movers; m++ {
+				j := ((t-1)*movers + m) % cfg.Users
+				next := rng.Intn(cfg.Stations - 1)
+				if next >= att[j] {
+					next++ // uniform over stations ≠ current
+				}
+				att[j] = next
+			}
+		}
+		tr.Attach = append(tr.Attach, att)
+		tr.AccessKm = append(tr.AccessKm, acc)
+	}
+	return tr, nil
+}
+
 // TaxiConfig parameterizes the synthetic taxi model that stands in for
 // the CRAWDAD Rome taxi dataset.
 type TaxiConfig struct {

@@ -3,6 +3,7 @@ package perf
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -59,13 +60,24 @@ func BenchmarkStepShard(b *testing.B) {
 	}
 }
 
+// BenchmarkStepChurn exposes the churn tier; use
+// -bench 'StepChurn/I=50,J=5000/c=5%/incr' to pick one point.
+func BenchmarkStepChurn(b *testing.B) {
+	if testing.Short() {
+		b.Skip("churn tier runs at the flagship size; skipped under -short")
+	}
+	for _, s := range ChurnSpecs() {
+		b.Run(strings.TrimPrefix(s.Name, "StepChurn/"), s.Bench)
+	}
+}
+
 func TestSpecsAreNamedAndRunnable(t *testing.T) {
 	base := 3 + len(NumKernelSpecs())
 	if n := len(Specs(false)); n != base {
 		t.Fatalf("Specs(false) = %d kernels, want the %d base kernels", n, base)
 	}
 	specs := Specs(true)
-	want := base + len(ScaleSpecs()) + len(SparseSpecs()) + len(ShardSpecs())
+	want := base + len(ScaleSpecs()) + len(SparseSpecs()) + len(ShardSpecs()) + len(ChurnSpecs())
 	if len(specs) != want {
 		t.Fatalf("Specs(true) = %d kernels, want %d", len(specs), want)
 	}
@@ -159,6 +171,59 @@ func TestSyntheticInstanceDeterministic(t *testing.T) {
 	}
 	if a.Init == nil {
 		t.Fatal("synthetic instance must carry a pre-horizon allocation")
+	}
+}
+
+func TestChurnInstanceExactRate(t *testing.T) {
+	for _, churn := range []float64{0, 0.05, 0.2, 1} {
+		in, err := ChurnInstance(6, 40, 5, churn, 99)
+		if err != nil {
+			t.Fatalf("churn %g: %v", churn, err)
+		}
+		movers := int(math.Ceil(churn * 40))
+		for tt := 1; tt < in.T; tt++ {
+			switched := 0
+			for j := 0; j < in.J; j++ {
+				if in.Attach[tt][j] != in.Attach[tt-1][j] {
+					switched++
+				}
+			}
+			// Movers may re-draw their current cloud, so switches are at
+			// most the mover count — and at churn 0 exactly zero.
+			if switched > movers {
+				t.Errorf("churn %g slot %d: %d switches > %d movers", churn, tt, switched, movers)
+			}
+			if churn == 0 && switched != 0 {
+				t.Errorf("zero churn slot %d: %d switches", tt, switched)
+			}
+		}
+		// Prices drift, never jump: ±2% per slot.
+		for tt := 1; tt < in.T; tt++ {
+			for i := 0; i < in.I; i++ {
+				r := in.OpPrice[tt][i] / in.OpPrice[tt-1][i]
+				if r < 0.98-1e-12 || r > 1.02+1e-12 {
+					t.Errorf("slot %d cloud %d: price ratio %g outside ±2%%", tt, i, r)
+				}
+			}
+		}
+	}
+	if _, err := ChurnInstance(3, 5, 3, 1.5, 1); err == nil {
+		t.Error("ChurnInstance accepted churn > 1")
+	}
+	a, err := ChurnInstance(5, 20, 4, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnInstance(5, 20, 4, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range a.Attach {
+		for j := range a.Attach[tt] {
+			if a.Attach[tt][j] != b.Attach[tt][j] {
+				t.Fatalf("Attach[%d][%d] differs between identical seeds", tt, j)
+			}
+		}
 	}
 }
 

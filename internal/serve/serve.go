@@ -76,6 +76,14 @@ type Config struct {
 	// (core.Options.Shards); per-session options can also request a
 	// (larger) shard count. 0 keeps the single-program path.
 	Shards int
+	// Incremental makes every session solve slots with the event-driven
+	// incremental tier (core.Options.Incremental): only users whose
+	// attachment changed since the previous slot are re-solved, with the
+	// dual-feasibility gate re-admitting any frozen user it cannot
+	// certify. IncrementalTol overrides the gate tolerance (0 = package
+	// default). Per-session options can also enable it selectively.
+	Incremental    bool
+	IncrementalTol float64
 	// Registry receives the daemon's metrics; a private registry is
 	// created when nil.
 	Registry *telemetry.Registry

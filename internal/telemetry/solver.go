@@ -20,6 +20,9 @@ import "strconv"
 //	edgealloc_solver_shard_outer_iterations_total  counter  shard coordination (dual-ascent) iterations
 //	edgealloc_solver_shard_max_residual            gauge    final consensus/capacity residual of the last slot
 //	edgealloc_solver_shard_solve_seconds           histogram per-shard cumulative solve time per slot
+//	edgealloc_solver_incr_frozen_users             counter  users held at their carried decision (incremental path)
+//	edgealloc_solver_incr_readmitted_users         counter  frozen users re-admitted by the soundness gate
+//	edgealloc_solver_incr_solve_seconds            histogram per-slot solve latency of incremental slots
 //	edgealloc_cloud_utilization{cloud=i}           gauge    Σ_j x_{i,j,t}/C_i at the last solved slot
 //	edgealloc_conform_violations_total{kind=k}     counter  oracle findings by guarantee kind
 //	edgealloc_sim_runs_total                       counter  completed harness runs
@@ -42,6 +45,9 @@ type SolverMetrics struct {
 	ShardIters   *Counter
 	ShardResid   *Gauge
 	ShardSolve   *Histogram
+	IncrFrozen   *Counter
+	IncrReadmit  *Counter
+	IncrSolve    *Histogram
 	CloudUtil    *GaugeVec
 	ConformViol  *CounterVec
 	SimRuns      *Counter
@@ -77,6 +83,12 @@ func NewSolverMetrics(r *Registry) *SolverMetrics {
 			"Final max consensus/capacity residual of the most recent sharded slot."),
 		ShardSolve: r.Histogram("edgealloc_solver_shard_solve_seconds",
 			"Per-shard cumulative subproblem solve time within one slot, in seconds.", nil),
+		IncrFrozen: r.Counter("edgealloc_solver_incr_frozen_users",
+			"Users held at their carried decision by the incremental path (zero when incremental solving is off)."),
+		IncrReadmit: r.Counter("edgealloc_solver_incr_readmitted_users",
+			"Frozen users re-admitted to the active set by the dual-feasibility soundness gate."),
+		IncrSolve: r.Histogram("edgealloc_solver_incr_solve_seconds",
+			"Per-slot solve latency of incremental-path slots, in seconds.", nil),
 		CloudUtil: r.GaugeVec("edgealloc_cloud_utilization",
 			"Per-cloud utilization sum_j x_ij / C_i at the most recent solved slot.", "cloud"),
 		ConformViol: r.CounterVec("edgealloc_conform_violations_total",
@@ -125,6 +137,18 @@ func (m *SolverMetrics) ObserveShards(iters int, maxResidual float64, blockSecon
 	for _, s := range blockSeconds {
 		m.ShardSolve.Observe(s)
 	}
+}
+
+// ObserveIncremental records one incremental-path slot: users held
+// frozen when the slot committed, users the soundness gate re-admitted,
+// and the slot's solve latency.
+func (m *SolverMetrics) ObserveIncremental(frozen, readmitted int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.IncrFrozen.Add(float64(frozen))
+	m.IncrReadmit.Add(float64(readmitted))
+	m.IncrSolve.Observe(seconds)
 }
 
 // ObserveLogCache records one slot's migration-log memo-cache outcomes
