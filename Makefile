@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench benchjson bench-diff fuzz cover
+.PHONY: check fmt vet lint build test race bench benchjson bench-diff serve-bench soak fuzz cover
 
 check: fmt vet lint build test race
 
@@ -59,6 +59,8 @@ fuzz:
 	@$(GO) test -run '^$$' -fuzz '^FuzzInstanceDecode$$' -fuzztime $(FUZZTIME) ./internal/model/
 	@echo "== FuzzFastMathVsStdlib ($(FUZZTIME)) =="
 	@$(GO) test -run '^$$' -fuzz '^FuzzFastMathVsStdlib$$' -fuzztime $(FUZZTIME) ./internal/numkernel/
+	@echo "== FuzzSnapshotRoundTrip ($(FUZZTIME)) =="
+	@$(GO) test -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/serve/
 
 # Coverage with per-package floors on the guarantee-bearing packages
 # (scripts/cover.sh; floors recorded in DESIGN.md §8).
@@ -75,8 +77,26 @@ benchjson:
 	$(GO) run ./cmd/edgebench -scale -benchjson BENCH_solver.json
 
 # Regression gate: re-run the kernels and fail if any grew more than 25%
-# ns/op or past the allocs/op gate over the committed trajectory. The
-# base kernels only, so it stays minutes; run with -scale by hand before
-# refreshing BENCH_solver.json after performance-sensitive changes.
+# ns/op or past the allocs/op gate over the committed trajectory, then
+# re-run the serve-tier sweep and fail if any latency percentile grew
+# more than 50% over BENCH_serve.json. The base kernels only, so it
+# stays minutes; run with -scale by hand before refreshing
+# BENCH_solver.json after performance-sensitive changes.
 bench-diff:
 	$(GO) run ./cmd/edgebench -benchdiff BENCH_solver.json
+	$(GO) run ./cmd/edgeload -self -benchdiff BENCH_serve.json
+
+# Serve-tier saturation sweep: an in-process edged driven open-loop
+# across the committed rate ladder, recording slot-advance latency
+# percentiles (p50/p99/p999) per rate into BENCH_serve.json. Refresh it
+# after serve-tier performance changes, on quiet hardware.
+serve-bench:
+	$(GO) run ./cmd/edgeload -self -benchjson BENCH_serve.json
+
+# Race-detector soak of the serving tier: sustained concurrent
+# slot-advance / snapshot / TTL-eviction / drain traffic under -race.
+# SOAK_ITERS bounds the iteration budget (CI uses a short one).
+SOAK_ITERS ?= 3
+
+soak:
+	$(GO) test -race -timeout 20m -run 'TestServeSoak' -count $(SOAK_ITERS) ./internal/serve/

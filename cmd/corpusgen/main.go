@@ -2,12 +2,15 @@
 // the `go test fuzz v1` corpus format: real encoded instances (toy,
 // generated, and Rome-derived) for FuzzInstanceDecode, the float64
 // boundary operands for the fast-math differential fuzz
-// FuzzFastMathVsStdlib, and the decomposition boundary tuples for the
-// sharded-path differential fuzz FuzzShardVsDense.
+// FuzzFastMathVsStdlib, the decomposition boundary tuples for the
+// sharded-path differential fuzz FuzzShardVsDense, and genuine session
+// snapshots at several depths for FuzzSnapshotRoundTrip.
 package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math"
@@ -15,8 +18,10 @@ import (
 	"path/filepath"
 
 	"edgealloc/internal/conform"
+	"edgealloc/internal/core"
 	"edgealloc/internal/model"
 	"edgealloc/internal/scenario"
+	"edgealloc/internal/serve"
 )
 
 func main() {
@@ -24,6 +29,70 @@ func main() {
 	writeFastMathCorpus()
 	writeShardCorpus()
 	writeIncrementalCorpus()
+	writeSnapshotCorpus()
+}
+
+// writeSnapshotCorpus pins the session-snapshot codec boundaries for
+// FuzzSnapshotRoundTrip: genuine snapshots at depth 0 (created, never
+// advanced), mid-horizon (warm iterate + duals + partial dual record),
+// and full horizon (done; restore must mark the session finished), over
+// both a Rome-derived and a generator instance, plus near-valid
+// documents that must be rejected cleanly (wrong version, truncated
+// state, id/path escapes).
+func writeSnapshotCorpus() {
+	dir := filepath.Join("internal", "serve", "testdata", "fuzz", "FuzzSnapshotRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	rome, _, err := scenario.Rome(scenario.Config{Users: 3, Horizon: 3, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := conform.GenInstance(conform.GenConfig{Seed: 21, I: 3, J: 4, T: 4})
+	type depth struct {
+		name  string
+		in    *model.Instance
+		slots int
+	}
+	for _, d := range []depth{
+		{"seed-rome-fresh", rome, 0},
+		{"seed-rome-mid", rome, 2},
+		{"seed-rome-done", rome, rome.T},
+		{"seed-gen-mid", gen, 3},
+	} {
+		alg := core.NewOnlineApprox(d.in, core.Options{})
+		for t := 0; t < d.slots; t++ {
+			if _, err := alg.StepCtx(context.Background(), t); err != nil {
+				log.Fatalf("%s: slot %d: %v", d.name, t, err)
+			}
+		}
+		raw, err := json.Marshal(&serve.Snapshot{
+			Version:  1,
+			ID:       d.name,
+			Instance: d.in,
+			State:    alg.ExportState(),
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", d.name, err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", raw)
+		if err := os.WriteFile(filepath.Join(dir, d.name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	adversarial := map[string]string{
+		"seed-bad-version":  `{"version":2,"id":"x","instance":null,"state":null}`,
+		"seed-no-state":     `{"version":1,"id":"x","instance":{"I":1,"J":1,"T":1}}`,
+		"seed-path-escape":  `{"version":1,"id":"../escape","instance":null,"state":null}`,
+		"seed-slot-overrun": `{"version":1,"id":"x","state":{"slot":99,"schedule":[]}}`,
+	}
+	for name, body := range adversarial {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("corpus written to", dir)
 }
 
 func writeInstanceCorpus() {

@@ -42,6 +42,8 @@ func run(args []string, errw io.Writer) int {
 		shards      = fs.Int("shards", 0, "split every session's per-slot solve across this many user shards coordinated by consensus ADMM (0 = single program)")
 		incremental = fs.Bool("incremental", false, "solve every session's slots incrementally: re-solve only users whose attachment changed, gated by dual feasibility")
 		incrTol     = fs.Float64("incremental-tol", 0, "relative dual-feasibility tolerance of the incremental gate (0 = package default)")
+		snapDir     = fs.String("snapshot-dir", "", "persist session snapshots here: TTL eviction saves warm state to disk and a restarted daemon recovers every session found (empty = no persistence)")
+		autosnap    = fs.Bool("autosnapshot", false, "persist a snapshot after every committed slot (crash loses at most the in-flight solve; requires -snapshot-dir)")
 		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +68,8 @@ func run(args []string, errw io.Writer) int {
 		Shards:         *shards,
 		Incremental:    *incremental,
 		IncrementalTol: *incrTol,
+		SnapshotDir:    *snapDir,
+		Autosnapshot:   *autosnap,
 		Logger:         log,
 	})
 

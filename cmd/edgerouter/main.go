@@ -1,0 +1,97 @@
+// Command edgerouter fronts a set of edged replicas with a stateless
+// consistent-hash router: each session id is placed on one replica by
+// rendezvous hashing and every request for it is forwarded there.
+// Membership changes (PUT /admin/replicas) migrate only the sessions
+// whose owner moved, via the edged snapshot/restore endpoints, so warm
+// solver state travels with the session. See internal/route and
+// DESIGN.md §7g.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"edgealloc/internal/route"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, errw io.Writer) int {
+	fs := flag.NewFlagSet("edgerouter", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8090", "listen address")
+		replicas = fs.String("replicas", "", "comma-separated edged base URLs (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082)")
+		timeout  = fs.Duration("forward-timeout", 2*time.Minute, "per-request deadline for forwarded calls (cover the slowest slot solve)")
+		logJSON  = fs.Bool("log-json", false, "emit JSON logs instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	members := strings.Split(*replicas, ",")
+	var nonEmpty []string
+	for _, m := range members {
+		if strings.TrimSpace(m) != "" {
+			nonEmpty = append(nonEmpty, m)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		fmt.Fprintln(errw, "edgerouter: -replicas requires at least one edged base URL")
+		return 2
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(errw, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(errw, nil)
+	}
+	log := slog.New(handler)
+
+	rt, err := route.New(route.Config{
+		Replicas: nonEmpty,
+		Client:   &http.Client{Timeout: *timeout},
+		Logger:   log,
+	})
+	if err != nil {
+		fmt.Fprintln(errw, "edgerouter:", err)
+		return 2
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("edgerouter listening", "addr", *addr, "replicas", rt.Replicas())
+
+	select {
+	case err := <-errc:
+		log.Error("listener failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(errw, "http shutdown:", err)
+		return 1
+	}
+	return 0
+}

@@ -302,36 +302,7 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 		return model.Alloc{}, fmt.Errorf("core: Step(%d) out of order, expected %d", t, o.slot)
 	}
 	in := o.inst
-	if o.obj == nil {
-		o.obj = newP2ObjectiveConst(in, o.opts.Epsilon1, o.opts.Epsilon2)
-		o.obj.workers = o.opts.Solver.Workers
-		if o.opts.FastMath {
-			o.obj.enableFast(o.opts.FastMathF32)
-		}
-		switch {
-		case o.opts.Shards > 0:
-			o.initShard(in)
-		case o.opts.Candidates > 0 || o.opts.Incremental:
-			o.initSparse(in)
-		case o.opts.DenseRows:
-			o.cons = p2Constraints(in, t)
-			o.lower = make([]float64, in.I*in.J)
-		default:
-			o.groups = p2Groups(in)
-			o.lower = make([]float64, in.I*in.J)
-		}
-		o.prevBuf = make([]float64, in.I*in.J)
-		copy(o.prevBuf, o.prev.X)
-		o.prev = model.Alloc{I: in.I, J: in.J, X: o.prevBuf}
-		o.userTot = make([]float64, in.J)
-		o.thetaBuf = make([]float64, in.T*in.J)
-		o.rhoBuf = make([]float64, in.T*in.I)
-		o.nuBuf = make([]float64, in.T*in.I)
-		o.schedule = make(model.Schedule, 0, in.T)
-		o.thetas = make([][]float64, 0, in.T)
-		o.rhos = make([][]float64, 0, in.T)
-		o.nus = make([][]float64, 0, in.T)
-	}
+	o.ensureInit(in)
 	o.obj.bind(in, t, o.prev)
 
 	solveStart := time.Now()
@@ -480,6 +451,44 @@ func (o *OnlineApprox) StepCtx(ctx context.Context, t int) (model.Alloc, error) 
 
 	o.slot++
 	return x, nil
+}
+
+// ensureInit lazily builds the per-instance caches on the first Step (or
+// on RestoreState): P2's constraint geometry and the objective's entropy
+// constants are slot-independent, and the ALM workspace makes repeated
+// Step calls allocation-free in the solver hot path.
+func (o *OnlineApprox) ensureInit(in *model.Instance) {
+	if o.obj != nil {
+		return
+	}
+	o.obj = newP2ObjectiveConst(in, o.opts.Epsilon1, o.opts.Epsilon2)
+	o.obj.workers = o.opts.Solver.Workers
+	if o.opts.FastMath {
+		o.obj.enableFast(o.opts.FastMathF32)
+	}
+	switch {
+	case o.opts.Shards > 0:
+		o.initShard(in)
+	case o.opts.Candidates > 0 || o.opts.Incremental:
+		o.initSparse(in)
+	case o.opts.DenseRows:
+		o.cons = p2Constraints(in, 0)
+		o.lower = make([]float64, in.I*in.J)
+	default:
+		o.groups = p2Groups(in)
+		o.lower = make([]float64, in.I*in.J)
+	}
+	o.prevBuf = make([]float64, in.I*in.J)
+	copy(o.prevBuf, o.prev.X)
+	o.prev = model.Alloc{I: in.I, J: in.J, X: o.prevBuf}
+	o.userTot = make([]float64, in.J)
+	o.thetaBuf = make([]float64, in.T*in.J)
+	o.rhoBuf = make([]float64, in.T*in.I)
+	o.nuBuf = make([]float64, in.T*in.I)
+	o.schedule = make(model.Schedule, 0, in.T)
+	o.thetas = make([][]float64, 0, in.T)
+	o.rhos = make([][]float64, 0, in.T)
+	o.nus = make([][]float64, 0, in.T)
 }
 
 // LastStepDiag returns the solver diagnostics of the most recent

@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// histBase is the lower edge of the first latency bucket.
+const histBase = time.Microsecond
+
+// histBucketsPerOctave sets the bucket resolution: 8 buckets per
+// doubling keeps quantile error under ~9%, plenty for SLO percentiles.
+const histBucketsPerOctave = 8
+
+// histOctaves spans 1µs .. ~2m17s (2^27 µs).
+const histOctaves = 27
+
+const histBuckets = histOctaves * histBucketsPerOctave
+
+// Histogram is a concurrency-safe log-bucketed latency histogram tuned
+// for slot-advance round trips: fixed memory, ~9% relative resolution,
+// exact count/min/max.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histBuckets + 1]uint64 // last bucket catches overflow
+	count   uint64
+	min     time.Duration
+	max     time.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < histBase {
+		return 0
+	}
+	idx := int(math.Floor(histBucketsPerOctave * math.Log2(float64(d)/float64(histBase))))
+	if idx < 0 {
+		return 0
+	}
+	if idx > histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// bucketUpper is the inclusive upper edge of bucket idx.
+func bucketUpper(idx int) time.Duration {
+	return time.Duration(float64(histBase) * math.Pow(2, float64(idx+1)/histBucketsPerOctave))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper edge of the
+// bucket holding the target rank — a conservative (never optimistic)
+// latency estimate. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			if i == histBuckets {
+				return h.max
+			}
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = [histBuckets + 1]uint64{}
+	h.count, h.min, h.max = 0, 0, 0
+}

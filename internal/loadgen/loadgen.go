@@ -1,0 +1,382 @@
+// Package loadgen is the sustained-load harness for the serving tier:
+// an open-loop generator that drives many concurrent allocation
+// sessions against an edged daemon (or an edgerouter front) at a fixed
+// offered rate of slot-advances per second, measuring the round-trip
+// latency of every advance into SLO histograms (p50/p99/p999) and
+// sweeping the rate to find the saturation knee. Reports serialize to
+// BENCH_serve.json and diff against a committed baseline so serve-tier
+// latency regressions fail the bench gate like solver kernels do.
+//
+// Open loop means arrivals do not wait for completions: ticks fire on
+// the offered-rate clock and a tick that finds every session busy is
+// counted as starvation instead of slowing down — so queueing delay
+// shows up in the latency tail, not in a silently reduced rate.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgealloc/internal/model"
+)
+
+// Runner drives one target with a fixed session population. Sessions
+// are created with client-supplied ids (so placement through a router
+// is deterministic) and replay the same instance template; a session
+// that finishes its horizon is replaced by a fresh one, keeping the
+// population constant for the whole run.
+type Runner struct {
+	// Base is the target base URL (edged or edgerouter).
+	Base string
+	// Client performs the requests (default: 2-minute timeout).
+	Client *http.Client
+	// Sessions is the concurrent session population.
+	Sessions int
+	// Instance is the per-session replay template.
+	Instance *model.Instance
+	// IDPrefix namespaces the session ids (default "load").
+	IDPrefix string
+
+	instRaw json.RawMessage
+	ids     []string
+	next    []int // next slot per population index
+	gen     []int // rebirth count per population index
+}
+
+// Step is one rate point of a sweep: offered load, what the target
+// actually absorbed, and the latency distribution of the absorbed
+// slot-advances.
+type Step struct {
+	// Rate is the offered load, slot-advances per second.
+	Rate float64 `json:"rate"`
+	// Seconds is the measured wall-clock of the step.
+	Seconds float64 `json:"seconds"`
+	// Completed counts successful slot-advances.
+	Completed uint64 `json:"completed"`
+	// Achieved is Completed/Seconds.
+	Achieved float64 `json:"achieved"`
+	// Shed counts 429 responses (admission control shedding load).
+	Shed uint64 `json:"shed"`
+	// Errors counts non-200, non-429 outcomes.
+	Errors uint64 `json:"errors"`
+	// Starved counts ticks that found every session busy: offered
+	// arrivals the open loop could not issue. Starved > 0 at a rate
+	// point means the target is past saturation there.
+	Starved uint64 `json:"starved"`
+	// P50Ns, P99Ns, P999Ns, MaxNs are latency quantiles of one
+	// slot-advance round trip, in nanoseconds.
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+	MaxNs  float64 `json:"max_ns"`
+}
+
+// Report is a full sweep, serialized as BENCH_serve.json.
+type Report struct {
+	Target   string `json:"target"` // "self" or the external base URL
+	Sessions int    `json:"sessions"`
+	Users    int    `json:"users"`
+	Horizon  int    `json:"horizon"`
+	Seed     int64  `json:"seed"`
+	Steps    []Step `json:"steps"`
+}
+
+func (r *Runner) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return &http.Client{Timeout: 2 * time.Minute}
+}
+
+func (r *Runner) prefix() string {
+	if r.IDPrefix != "" {
+		return r.IDPrefix
+	}
+	return "load"
+}
+
+// Setup encodes the instance template and creates the session
+// population.
+func (r *Runner) Setup(ctx context.Context) error {
+	if r.Sessions <= 0 {
+		return fmt.Errorf("loadgen: Sessions must be positive")
+	}
+	if r.Instance == nil {
+		return fmt.Errorf("loadgen: Instance required")
+	}
+	var buf bytes.Buffer
+	if err := model.WriteInstance(&buf, r.Instance); err != nil {
+		return fmt.Errorf("loadgen: encoding instance: %w", err)
+	}
+	r.instRaw = json.RawMessage(buf.Bytes())
+	r.ids = make([]string, r.Sessions)
+	r.next = make([]int, r.Sessions)
+	r.gen = make([]int, r.Sessions)
+	for k := 0; k < r.Sessions; k++ {
+		if err := r.createSession(ctx, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Teardown deletes the current session population (best effort).
+func (r *Runner) Teardown(ctx context.Context) {
+	for _, id := range r.ids {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+			r.Base+"/v1/sessions/"+id, nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := r.client().Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// createSession registers population slot k under a fresh id.
+func (r *Runner) createSession(ctx context.Context, k int) error {
+	id := fmt.Sprintf("%s-%d-g%d", r.prefix(), k, r.gen[k])
+	body, err := json.Marshal(map[string]any{"id": id, "instance": r.instRaw})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.Base+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: creating session %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("loadgen: creating session %s: status %d: %s",
+			id, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	r.ids[k] = id
+	r.next[k] = 0
+	return nil
+}
+
+// advance posts the next slot of population index k, recording the
+// outcome. Only one goroutine holds an index at a time, so next/gen
+// need no locking.
+func (r *Runner) advance(ctx context.Context, k int, hist *Histogram, completed, shed, errs *atomic.Uint64) {
+	if r.next[k] >= r.Instance.T {
+		// Horizon done: replace with a fresh session (rebirth is part of
+		// the offered work but not a slot-advance latency sample).
+		r.gen[k]++
+		if err := r.createSession(ctx, k); err != nil {
+			errs.Add(1)
+			r.gen[k]-- // retry the rebirth on the next dispatch
+			return
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"slot": r.next[k]})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.Base+"/v1/sessions/"+r.ids[k]+"/slots", bytes.NewReader(body))
+	if err != nil {
+		errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := r.client().Do(req)
+	if err != nil {
+		errs.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		hist.Record(time.Since(t0))
+		r.next[k]++
+		completed.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		shed.Add(1) // open loop: shedding is the signal, not an error
+	default:
+		errs.Add(1)
+	}
+}
+
+// RunStep offers `rate` slot-advances per second for `dur` and returns
+// the measured step.
+func (r *Runner) RunStep(ctx context.Context, rate float64, dur time.Duration) (Step, error) {
+	if rate <= 0 {
+		return Step{}, fmt.Errorf("loadgen: rate must be positive")
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	hist := &Histogram{}
+	var completed, shed, errs, starved atomic.Uint64
+	ready := make(chan int, r.Sessions)
+	for k := 0; k < r.Sessions; k++ {
+		ready <- k
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	timer := time.NewTimer(dur)
+	defer ticker.Stop()
+	defer timer.Stop()
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-timer.C:
+			break loop
+		case <-ticker.C:
+			select {
+			case k := <-ready:
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					r.advance(ctx, k, hist, &completed, &shed, &errs)
+					ready <- k
+				}(k)
+			default:
+				// Every session busy: an offered arrival the target could
+				// not absorb. The open loop keeps its clock instead of
+				// stalling.
+				starved.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	step := Step{
+		Rate:      rate,
+		Seconds:   elapsed.Seconds(),
+		Completed: completed.Load(),
+		Shed:      shed.Load(),
+		Errors:    errs.Load(),
+		Starved:   starved.Load(),
+		P50Ns:     float64(hist.Quantile(0.50)),
+		P99Ns:     float64(hist.Quantile(0.99)),
+		P999Ns:    float64(hist.Quantile(0.999)),
+		MaxNs:     float64(hist.Max()),
+	}
+	if step.Seconds > 0 {
+		step.Achieved = float64(step.Completed) / step.Seconds
+	}
+	return step, ctx.Err()
+}
+
+// Sweep runs one step per rate, in order, over the same session
+// population (warm sessions carry across steps, like a long-lived
+// deployment).
+func (r *Runner) Sweep(ctx context.Context, rates []float64, dur time.Duration) ([]Step, error) {
+	steps := make([]Step, 0, len(rates))
+	for _, rate := range rates {
+		s, err := r.RunStep(ctx, rate, dur)
+		if err != nil {
+			return steps, err
+		}
+		steps = append(steps, s)
+	}
+	return steps, nil
+}
+
+// --- report IO + regression gate ----------------------------------------
+
+// WriteReport serializes the report (indented, trailing newline).
+func WriteReport(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadReport parses a report written by WriteReport.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("loadgen: parse report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Regression is one failed latency gate.
+type Regression struct {
+	Rate     float64
+	Quantile string
+	BaseNs   float64
+	CurNs    float64
+	Delta    float64 // (cur-base)/base
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("rate %g: %s %.2fms -> %.2fms (%+.0f%%)",
+		r.Rate, r.Quantile, r.BaseNs/1e6, r.CurNs/1e6, 100*r.Delta)
+}
+
+// DiffReports gates the current sweep against a baseline: for every
+// rate point present in both, each latency percentile may grow at most
+// `threshold` (0.5 = +50%; serve round trips are noisier than solver
+// microbenchmarks, so the gate is looser than the kernel one). Rate
+// points only in one report are ignored — resizing the sweep must not
+// fail the gate.
+func DiffReports(base, cur *Report, threshold float64) []Regression {
+	byRate := map[float64]Step{}
+	for _, s := range base.Steps {
+		byRate[s.Rate] = s
+	}
+	var out []Regression
+	for _, s := range cur.Steps {
+		b, ok := byRate[s.Rate]
+		if !ok {
+			continue
+		}
+		for _, q := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"p50", b.P50Ns, s.P50Ns},
+			{"p99", b.P99Ns, s.P99Ns},
+			{"p999", b.P999Ns, s.P999Ns},
+		} {
+			if q.base <= 0 || q.cur <= q.base*(1+threshold) {
+				continue
+			}
+			out = append(out, Regression{
+				Rate: s.Rate, Quantile: q.name,
+				BaseNs: q.base, CurNs: q.cur,
+				Delta: (q.cur - q.base) / q.base,
+			})
+		}
+	}
+	return out
+}
+
+// WriteStepTable renders steps as a human-readable table.
+func WriteStepTable(w io.Writer, steps []Step) {
+	fmt.Fprintf(w, "%8s %9s %10s %6s %6s %8s %9s %9s %9s %9s\n",
+		"rate", "achieved", "completed", "shed", "errs", "starved", "p50", "p99", "p999", "max")
+	for _, s := range steps {
+		fmt.Fprintf(w, "%8.1f %9.1f %10d %6d %6d %8d %9s %9s %9s %9s\n",
+			s.Rate, s.Achieved, s.Completed, s.Shed, s.Errors, s.Starved,
+			fmtNs(s.P50Ns), fmtNs(s.P99Ns), fmtNs(s.P999Ns), fmtNs(s.MaxNs))
+	}
+}
+
+func fmtNs(ns float64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}

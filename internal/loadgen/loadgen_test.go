@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"edgealloc/internal/scenario"
+	"edgealloc/internal/serve"
+)
+
+// --- histogram -----------------------------------------------------------
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram should report zero")
+	}
+	// 1..1000 ms: quantiles are known up to bucket resolution (~9%).
+	for ms := 1; ms <= 1000; ms++ {
+		h.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.90)
+		hi := time.Duration(float64(tc.want) * 1.12)
+		if got < lo || got > hi {
+			t.Fatalf("q%.3f = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("max %v, want 1s", h.Max())
+	}
+	// The top quantile never exceeds the true max.
+	if h.Quantile(1) > h.Max() {
+		t.Fatalf("q1 %v exceeds max %v", h.Quantile(1), h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("reset did not clear the histogram")
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := &Histogram{}
+	h.Record(0)                // below the first bucket
+	h.Record(10 * time.Minute) // beyond the last bucket
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2", h.Count())
+	}
+	if got := h.Quantile(1); got != 10*time.Minute {
+		t.Fatalf("overflow quantile %v, want the recorded max", got)
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for d := time.Microsecond; d < time.Minute; d = d * 5 / 4 {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %v: %d < %d", d, b, prev)
+		}
+		prev = b
+		if up := bucketUpper(b); up < d {
+			t.Fatalf("bucketUpper(%d)=%v below sample %v", b, up, d)
+		}
+	}
+}
+
+// --- regression gate -----------------------------------------------------
+
+func TestDiffReports(t *testing.T) {
+	base := &Report{Steps: []Step{
+		{Rate: 10, P50Ns: 1e6, P99Ns: 5e6, P999Ns: 9e6},
+		{Rate: 20, P50Ns: 2e6, P99Ns: 8e6, P999Ns: 2e7},
+	}}
+	// Within the gate: +40% on one percentile.
+	cur := &Report{Steps: []Step{
+		{Rate: 10, P50Ns: 1.4e6, P99Ns: 5e6, P999Ns: 9e6},
+		{Rate: 20, P50Ns: 2e6, P99Ns: 8e6, P999Ns: 2e7},
+	}}
+	if regs := DiffReports(base, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("within-gate sweep flagged: %v", regs)
+	}
+	// Past the gate: p99 at rate 20 triples.
+	cur.Steps[1].P99Ns = 24e6
+	regs := DiffReports(base, cur, 0.5)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly one regression, got %v", regs)
+	}
+	if regs[0].Rate != 20 || regs[0].Quantile != "p99" {
+		t.Fatalf("wrong regression identified: %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "p99") {
+		t.Fatalf("regression string %q should name the percentile", regs[0])
+	}
+	// A rate point absent from the baseline is not gated.
+	cur.Steps[1].Rate = 40
+	if regs := DiffReports(base, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("unmatched rate point gated: %v", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{Target: "self", Sessions: 8, Users: 4, Horizon: 3, Seed: 7,
+		Steps: []Step{{Rate: 5, Completed: 40, P50Ns: 1.5e6}}}
+	var buf strings.Builder
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Target != rep.Target || len(got.Steps) != 1 || got.Steps[0].Completed != 40 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+}
+
+// --- end-to-end open loop ------------------------------------------------
+
+// TestRunnerOpenLoop drives a real in-process edged briefly and checks
+// the bookkeeping: slot-advances complete, latencies land in the
+// histogram-backed percentiles, sessions are reborn past the horizon,
+// and teardown empties the daemon.
+func TestRunnerOpenLoop(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 4, Horizon: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("building instance: %v", err)
+	}
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = s.Close() })
+
+	r := &Runner{Base: ts.URL, Sessions: 4, Instance: in, IDPrefix: "t"}
+	ctx := context.Background()
+	if err := r.Setup(ctx); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	step, err := r.RunStep(ctx, 200, 2*time.Second)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if step.Completed == 0 {
+		t.Fatalf("no slot-advances completed: %+v", step)
+	}
+	if step.Errors != 0 {
+		t.Fatalf("%d errors during open loop: %+v", step.Errors, step)
+	}
+	if step.P50Ns <= 0 || step.P99Ns < step.P50Ns || step.P999Ns < step.P99Ns {
+		t.Fatalf("percentiles not ordered: %+v", step)
+	}
+	if step.Achieved <= 0 {
+		t.Fatalf("achieved rate not measured: %+v", step)
+	}
+	// 4 sessions x 3 slots = 12 advances; more completions than that
+	// proves sessions were reborn to sustain the population.
+	if step.Completed > 12 {
+		reborn := false
+		for _, g := range r.gen {
+			if g > 0 {
+				reborn = true
+			}
+		}
+		if !reborn {
+			t.Fatalf("%d completions but no session rebirth", step.Completed)
+		}
+	}
+	r.Teardown(ctx)
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if err := (&Runner{Sessions: 0}).Setup(context.Background()); err == nil {
+		t.Fatalf("zero sessions must fail setup")
+	}
+	if err := (&Runner{Sessions: 1}).Setup(context.Background()); err == nil {
+		t.Fatalf("nil instance must fail setup")
+	}
+	r := &Runner{Sessions: 1}
+	if _, err := r.RunStep(context.Background(), 0, time.Second); err == nil {
+		t.Fatalf("zero rate must fail")
+	}
+}

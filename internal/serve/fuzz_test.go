@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"edgealloc/internal/core"
+	"edgealloc/internal/scenario"
+)
+
+// FuzzSnapshotRoundTrip throws arbitrary bytes at the session snapshot
+// codec and checks the two invariants a restorable snapshot must hold:
+//
+//  1. Byte stability: encode → decode → encode is the identity on the
+//     canonical encoding, so snapshots can be compared, content-hashed,
+//     and shipped between replicas without drift.
+//  2. Warm-state equivalence: the algorithm rebuilt by restoreSession
+//     exports exactly the warm state the snapshot carried — nothing of
+//     the iterate, the duals, or the per-slot dual record is lost or
+//     invented on the way through the codec.
+//
+// Bytes that do not decode into a valid snapshot must be rejected with
+// an error (never a panic); they are skipped.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	srv := New(Config{})
+	f.Cleanup(func() { _ = srv.Close() })
+
+	// Seed with real snapshots at several depths, including the
+	// never-advanced slot-0 edge (corpusgen commits richer variants
+	// under testdata/fuzz).
+	in, _, err := scenario.Rome(scenario.Config{Users: 3, Horizon: 3, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, slots := range []int{0, 1, 3} {
+		alg := core.NewOnlineApprox(in, core.Options{})
+		for t := 0; t < slots; t++ {
+			if _, err := alg.StepCtx(context.Background(), t); err != nil {
+				f.Fatal(err)
+			}
+		}
+		raw, err := json.Marshal(&Snapshot{
+			Version:  snapshotVersion,
+			ID:       "seed",
+			Instance: in,
+			State:    alg.ExportState(),
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"version":1,"id":"x"}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Skip()
+		}
+		sess, err := srv.restoreSession(&snap)
+		if err != nil {
+			// Invalid snapshots must fail closed; reaching here without a
+			// panic is the property.
+			t.Skip()
+		}
+
+		// (1) Canonical-encoding stability.
+		b1, err := json.Marshal(&snap)
+		if err != nil {
+			t.Fatalf("encoding restorable snapshot: %v", err)
+		}
+		var snap2 Snapshot
+		if err := json.Unmarshal(b1, &snap2); err != nil {
+			t.Fatalf("decoding canonical encoding: %v", err)
+		}
+		b2, err := json.Marshal(&snap2)
+		if err != nil {
+			t.Fatalf("re-encoding: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encode/decode/encode not byte-stable:\n%s\nvs\n%s", b1, b2)
+		}
+
+		// (2) Warm-state fidelity through restore.
+		if msg := warmStatesEquiv(snap.State, sess.alg.ExportState()); msg != "" {
+			t.Fatalf("restored warm state diverged: %s", msg)
+		}
+
+		// The restored session must also snapshot back to a restorable
+		// document (closure under the round trip).
+		if _, err := srv.restoreSession(sess.snapshot()); err != nil {
+			t.Fatalf("re-snapshot of restored session not restorable: %v", err)
+		}
+	})
+}
+
+// warmStatesEquiv compares warm states semantically: float-for-float
+// equality, with nil and empty slices identified (JSON does not
+// distinguish an absent list from an empty one).
+func warmStatesEquiv(a, b *core.WarmState) string {
+	if a == nil || b == nil {
+		if a != b {
+			return "one state nil"
+		}
+		return ""
+	}
+	if a.Slot != b.Slot {
+		return "slot differs"
+	}
+	if msg := rowsEquiv("schedule", a.Schedule, b.Schedule); msg != "" {
+		return msg
+	}
+	if len(a.Duals) != len(b.Duals) {
+		return "duals length differs"
+	}
+	for i := range a.Duals {
+		if a.Duals[i] != b.Duals[i] {
+			return "duals differ"
+		}
+	}
+	if msg := rowsEquiv("thetas", a.Thetas, b.Thetas); msg != "" {
+		return msg
+	}
+	if msg := rowsEquiv("rhos", a.Rhos, b.Rhos); msg != "" {
+		return msg
+	}
+	return rowsEquiv("nus", a.Nus, b.Nus)
+}
+
+func rowsEquiv(name string, a, b [][]float64) string {
+	if len(a) != len(b) {
+		return name + " row count differs"
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return name + " row length differs"
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return name + " values differ"
+			}
+		}
+	}
+	return ""
+}

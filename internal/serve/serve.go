@@ -84,6 +84,15 @@ type Config struct {
 	// default). Per-session options can also enable it selectively.
 	Incremental    bool
 	IncrementalTol float64
+	// SnapshotDir, when set, is where session snapshots persist:
+	// explicit POST …/snapshot calls write there, TTL eviction saves the
+	// warm state to disk instead of dropping it (a later request for the
+	// session restores it transparently), and a restarted daemon
+	// recovers every session found there. Empty disables persistence.
+	SnapshotDir string
+	// Autosnapshot persists a snapshot after every committed slot, so a
+	// crash loses at most the in-flight solve. Requires SnapshotDir.
+	Autosnapshot bool
 	// Registry receives the daemon's metrics; a private registry is
 	// created when nil.
 	Registry *telemetry.Registry
@@ -96,6 +105,10 @@ type Config struct {
 	// slot solve starts; tests use it to coordinate overload and drain
 	// scenarios deterministically.
 	hookSolveStart func(sessionID string)
+	// hookPostLookup, when set, is invoked synchronously right after a
+	// slot request resolves its session, before the solve is enqueued;
+	// tests use it to interleave handlers with the TTL janitor.
+	hookPostLookup func(sessionID string)
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +178,8 @@ type Server struct {
 	mEvictedTotal   *telemetry.Counter
 	mSlotsTotal     *telemetry.Counter
 	mRejected       *telemetry.CounterVec
+	mSnapshots      *telemetry.CounterVec
+	mRestores       *telemetry.CounterVec
 }
 
 // New builds a server and starts its eviction janitor. Callers must
@@ -199,8 +214,17 @@ func New(cfg Config) *Server {
 			"Slots solved across all sessions."),
 		mRejected: reg.CounterVec("edgealloc_serve_rejected_total",
 			"Requests shed by backpressure, by reason.", "reason"),
+		mSnapshots: reg.CounterVec("edgealloc_serve_snapshots_total",
+			"Session snapshots taken, by trigger (request, auto, evict).", "reason"),
+		mRestores: reg.CounterVec("edgealloc_serve_restores_total",
+			"Sessions restored from snapshots, by source (request, disk, recovery).", "source"),
 	}
 	s.routes()
+	if cfg.SnapshotDir != "" {
+		if n := s.recoverSnapshots(); n > 0 {
+			s.log.Info("crash recovery complete", "sessions", n)
+		}
+	}
 	go s.janitor()
 	return s
 }
@@ -211,6 +235,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/slots", s.handlePostSlot)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/sessions/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/costs", s.handleCosts)
 	s.mux.Handle("GET /metrics", s.registry.Handler())
@@ -314,30 +340,62 @@ func (s *Server) janitor() {
 }
 
 // evictIdle removes sessions whose last activity predates now−TTL.
-// Sessions with queued work are never evicted.
+// Sessions with queued work are never evicted. With SnapshotDir set the
+// warm state is persisted to disk first (evict-to-snapshot), so a
+// returning client resumes instead of restarting; without it the state
+// is dropped, as before.
+//
+// Eviction must not race an in-flight slot solve: a handler can pass
+// lookup before we run and block on stepMu behind the janitor. TryLock
+// skips sessions whose stepMu is held (they are busy, hence not idle),
+// and holding stepMu across persist-and-delete means any handler that
+// was waiting observes the evicted flag and fails with 410 instead of
+// solving into an orphan whose warm state just went to disk.
 func (s *Server) evictIdle(now time.Time) int {
 	cutoff := now.Add(-s.cfg.SessionTTL)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	evicted := 0
 	for id, sess := range s.sessions {
-		if sess.idleSince(cutoff) {
-			delete(s.sessions, id)
-			evicted++
-			s.mEvictedTotal.Inc()
-			s.log.Info("session evicted", "session", id, "reason", "ttl")
+		if !sess.idleSince(cutoff) {
+			continue
 		}
+		if !sess.stepMu.TryLock() {
+			continue // solve in flight; it refreshes lastUsed anyway
+		}
+		if s.cfg.SnapshotDir != "" {
+			if err := s.persistSnapshot(sess, "evict"); err != nil {
+				// Keep the session rather than drop unsaved warm state.
+				s.log.Error("evict-to-snapshot failed; keeping session",
+					"session", id, "err", err)
+				sess.stepMu.Unlock()
+				continue
+			}
+		}
+		sess.markEvicted()
+		sess.stepMu.Unlock()
+		delete(s.sessions, id)
+		evicted++
+		s.mEvictedTotal.Inc()
+		s.log.Info("session evicted", "session", id, "reason", "ttl",
+			"snapshotted", s.cfg.SnapshotDir != "")
 	}
 	s.mSessionsActive.Set(float64(len(s.sessions)))
 	return evicted
 }
 
-// lookup finds a session by the request's {id} path value.
+// lookup finds a session by the request's {id} path value. A miss
+// falls back to the session's persisted snapshot when SnapshotDir is
+// configured, so TTL eviction (and a daemon restart) is transparent to
+// returning clients.
 func (s *Server) lookup(r *http.Request) (*session, string, bool) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	s.mu.Unlock()
+	if !ok {
+		sess, ok = s.restoreFromDisk(id)
+	}
 	return sess, id, ok
 }
 

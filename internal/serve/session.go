@@ -36,11 +36,19 @@ type session struct {
 	// streaming means the instance was created from a skeleton plus a
 	// horizon, so every posted slot must carry its own data.
 	streaming bool
+	// opts is the create request's solver configuration, kept so a
+	// snapshot can rebuild the same algorithm on restore.
+	opts solverOptions
 
 	stepMu sync.Mutex
 
-	mu       sync.Mutex
-	queued   int // solve requests enqueued, including the running one
+	mu     sync.Mutex
+	queued int // solve requests enqueued, including the running one
+	// evicted marks a session removed from the server's map while a
+	// handler may still hold a reference to it: the handler must fail
+	// with 410 instead of solving into (or snapshotting) an orphan whose
+	// warm state the server has already persisted or dropped.
+	evicted  bool
 	lastUsed time.Time
 	next     int // next slot to solve
 	done     bool
@@ -82,6 +90,21 @@ func (s *session) dequeue() {
 	s.mu.Lock()
 	s.queued--
 	s.mu.Unlock()
+}
+
+// markEvicted flags the session as removed from the server's map.
+func (s *session) markEvicted() {
+	s.mu.Lock()
+	s.evicted = true
+	s.mu.Unlock()
+}
+
+// isEvicted reports whether the session was evicted after this handler
+// looked it up.
+func (s *session) isEvicted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
 }
 
 // --- wire types ---------------------------------------------------------
@@ -159,8 +182,12 @@ func (o solverOptions) coreOptions(srv *Server) core.Options {
 // createRequest creates a session. Instance is either a complete
 // model.Instance (replay mode: all time-major data present up front) or
 // a skeleton with T omitted plus Horizon set (streaming mode: every
-// posted slot carries its own prices and attachments).
+// posted slot carries its own prices and attachments). ID, when set,
+// names the session (path-safe [A-Za-z0-9._-], unique); router
+// deployments use client ids so a session's placement is a pure
+// function of its name.
 type createRequest struct {
+	ID       string          `json:"id,omitempty"`
 	Instance json.RawMessage `json:"instance"`
 	Horizon  int             `json:"horizon,omitempty"`
 	Options  solverOptions   `json:"options,omitempty"`
@@ -300,6 +327,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.ID != "" {
+		if err := validSessionID(req.ID); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	inst, streaming, err := buildInstance(req.Instance, req.Horizon)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -313,14 +346,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
 		return
 	}
-	s.nextID++
-	id := fmt.Sprintf("s-%d", s.nextID)
+	id := req.ID
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("s-%d", s.nextID)
+	} else if _, exists := s.sessions[id]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "session "+id+" already exists")
+		return
+	}
 	sess := &session{
 		id:        id,
 		srv:       s,
 		inst:      inst,
 		alg:       core.NewOnlineApprox(inst, req.Options.coreOptions(s)),
 		streaming: streaming,
+		opts:      req.Options,
 		lastUsed:  s.cfg.now(),
 	}
 	s.sessions[id] = sess
@@ -412,7 +453,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	sess, ok := s.sessions[id]
 	if ok {
 		delete(s.sessions, id)
 		s.mEvictedTotal.Inc()
@@ -423,6 +464,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown session "+id)
 		return
 	}
+	sess.markEvicted()
+	// DELETE is an intentional discard: drop the persisted snapshot too,
+	// so the session cannot resurrect through the disk fallback.
+	s.removeSnapshot(id)
 	s.log.Info("session evicted", "session", id, "reason", "delete")
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -475,6 +520,9 @@ func (s *Server) handlePostSlot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown session "+id)
 		return
 	}
+	if s.cfg.hookPostLookup != nil {
+		s.cfg.hookPostLookup(id)
+	}
 	var req slotRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -497,6 +545,15 @@ func (s *Server) handlePostSlot(w http.ResponseWriter, r *http.Request) {
 
 	sess.stepMu.Lock()
 	defer sess.stepMu.Unlock()
+
+	// The TTL janitor may have evicted the session (persisting its warm
+	// state) between our lookup and taking stepMu; solving now would
+	// advance an orphan the server no longer knows. 410 tells the client
+	// to retry, which transparently restores from the snapshot.
+	if sess.isEvicted() {
+		writeError(w, http.StatusGone, "session evicted; retry to restore it from its snapshot")
+		return
+	}
 
 	sess.mu.Lock()
 	t, done := sess.next, sess.done
@@ -548,6 +605,11 @@ func (s *Server) handlePostSlot(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Done {
 		resp.Conformance = sess.finish()
+	}
+	if s.cfg.SnapshotDir != "" && s.cfg.Autosnapshot {
+		if err := s.persistSnapshot(sess, "auto"); err != nil {
+			s.log.Error("autosnapshot", "session", id, "slot", t, "err", err)
+		}
 	}
 	d := sess.alg.LastStepDiag()
 	s.log.Info("slot solved", "session", id, "slot", t,

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"edgealloc/internal/core"
+	"edgealloc/internal/model"
+)
+
+// snapshotVersion is the wire/disk format version of Snapshot. Bump it
+// on incompatible changes; restore rejects unknown versions.
+const snapshotVersion = 1
+
+// snapExt is the on-disk suffix of persisted session snapshots.
+const snapExt = ".snap.json"
+
+// Snapshot is a session frozen between slots: the instance (with every
+// streamed slot revealed so far), the solver options, the cost
+// bookkeeping, and the algorithm's cross-slot warm state
+// (core.WarmState — committed decisions, warm duals, and the per-slot
+// dual record, so the certificate survives). Restoring it into a fresh
+// daemon resumes the session at State.Slot with the warm iterate and
+// multipliers intact: the default solving path continues bitwise
+// identically, the reduced paths within their certified tolerance.
+type Snapshot struct {
+	Version   int             `json:"version"`
+	ID        string          `json:"id"`
+	Streaming bool            `json:"streaming"`
+	Options   solverOptions   `json:"options"`
+	Instance  *model.Instance `json:"instance"`
+	Costs     model.Breakdown `json:"costs"`
+	Total     float64         `json:"total"`
+	LastDiag  core.StepDiag   `json:"lastDiag"`
+	Summary   *conformSummary `json:"summary,omitempty"`
+	State     *core.WarmState `json:"state"`
+}
+
+// snapshot freezes the session. The caller must hold stepMu (so no
+// solve is mutating the instance or the algorithm); the result aliases
+// the live instance, so it must be encoded before stepMu is released.
+func (sess *session) snapshot() *Snapshot {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return &Snapshot{
+		Version:   snapshotVersion,
+		ID:        sess.id,
+		Streaming: sess.streaming,
+		Options:   sess.opts,
+		Instance:  sess.inst,
+		Costs:     sess.costs,
+		Total:     sess.total,
+		LastDiag:  sess.lastDiag,
+		Summary:   sess.summary,
+		State:     sess.alg.ExportState(),
+	}
+}
+
+// restoreSession rebuilds a session from a snapshot. The returned
+// session is not yet registered with the server.
+func (s *Server) restoreSession(snap *Snapshot) (*session, error) {
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if err := validSessionID(snap.ID); err != nil {
+		return nil, err
+	}
+	if snap.Instance == nil || snap.State == nil {
+		return nil, errors.New("snapshot missing instance or state")
+	}
+	if err := snap.Options.validate(); err != nil {
+		return nil, err
+	}
+	if err := snap.Instance.Validate(); err != nil {
+		return nil, fmt.Errorf("snapshot instance: %w", err)
+	}
+	alg := core.NewOnlineApprox(snap.Instance, snap.Options.coreOptions(s))
+	if err := alg.RestoreState(snap.State); err != nil {
+		return nil, err
+	}
+	sess := &session{
+		id:        snap.ID,
+		srv:       s,
+		inst:      snap.Instance,
+		alg:       alg,
+		streaming: snap.Streaming,
+		opts:      snap.Options,
+		lastUsed:  s.cfg.now(),
+		next:      snap.State.Slot,
+		done:      snap.State.Slot == snap.Instance.T,
+		costs:     snap.Costs,
+		total:     snap.Total,
+		lastDiag:  snap.LastDiag,
+		summary:   snap.Summary,
+	}
+	for _, row := range snap.State.Schedule {
+		sess.sched = append(sess.sched, model.Alloc{
+			I: snap.Instance.I, J: snap.Instance.J, X: row,
+		})
+	}
+	return sess, nil
+}
+
+// register inserts a restored session, enforcing the session cap and id
+// uniqueness. On an id collision the existing session wins and is
+// returned with restored=false (concurrent restores of the same
+// snapshot are idempotent).
+func (s *Server) register(sess *session) (*session, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.sessions[sess.id]; ok {
+		return cur, false, nil
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, false, fmt.Errorf("session limit %d reached", s.cfg.MaxSessions)
+	}
+	s.sessions[sess.id] = sess
+	s.mSessionsTotal.Inc()
+	s.mSessionsActive.Set(float64(len(s.sessions)))
+	return sess, true, nil
+}
+
+// validSessionID accepts ids that are safe as path segments and
+// snapshot file names.
+func validSessionID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("session id must be 1..128 characters")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return fmt.Errorf("session id %q: only [A-Za-z0-9._-] allowed", id)
+		}
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("session id %q must not start with a dot", id)
+	}
+	return nil
+}
+
+// snapshotPath is the session's on-disk snapshot location.
+func (s *Server) snapshotPath(id string) string {
+	return filepath.Join(s.cfg.SnapshotDir, id+snapExt)
+}
+
+// persistSnapshot writes the session's snapshot to SnapshotDir
+// atomically (temp file + rename). The caller must hold stepMu.
+func (s *Server) persistSnapshot(sess *session, reason string) error {
+	raw, err := json.Marshal(sess.snapshot())
+	if err != nil {
+		return fmt.Errorf("encoding snapshot: %w", err)
+	}
+	path := s.snapshotPath(sess.id)
+	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, sess.id+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.mSnapshots.With(reason).Inc()
+	return nil
+}
+
+// removeSnapshot deletes the session's persisted snapshot, if any.
+func (s *Server) removeSnapshot(id string) {
+	if s.cfg.SnapshotDir == "" {
+		return
+	}
+	if err := os.Remove(s.snapshotPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.log.Warn("removing snapshot", "session", id, "err", err)
+	}
+}
+
+// restoreFromDisk loads and registers the session's persisted snapshot.
+// Used when a request addresses a TTL-evicted (or pre-crash) session.
+func (s *Server) restoreFromDisk(id string) (*session, bool) {
+	if s.cfg.SnapshotDir == "" || validSessionID(id) != nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.snapshotPath(id))
+	if err != nil {
+		return nil, false
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		s.log.Warn("decoding persisted snapshot", "session", id, "err", err)
+		return nil, false
+	}
+	if snap.ID != id {
+		s.log.Warn("persisted snapshot id mismatch", "session", id, "snapshot", snap.ID)
+		return nil, false
+	}
+	sess, err := s.restoreSession(&snap)
+	if err != nil {
+		s.log.Warn("restoring persisted snapshot", "session", id, "err", err)
+		return nil, false
+	}
+	cur, restored, err := s.register(sess)
+	if err != nil {
+		s.log.Warn("registering restored session", "session", id, "err", err)
+		return nil, false
+	}
+	if restored {
+		s.mRestores.With("disk").Inc()
+		s.log.Info("session restored from disk", "session", id, "nextSlot", sess.next)
+	}
+	return cur, true
+}
+
+// recoverSnapshots restores every persisted session found in
+// SnapshotDir — crash recovery on daemon restart. Unreadable snapshots
+// are logged and skipped. Returns the number of sessions restored.
+func (s *Server) recoverSnapshots() int {
+	entries, err := os.ReadDir(s.cfg.SnapshotDir)
+	if err != nil {
+		s.log.Warn("scanning snapshot dir", "dir", s.cfg.SnapshotDir, "err", err)
+		return 0
+	}
+	restored := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, snapExt)
+		if validSessionID(id) != nil {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.cfg.SnapshotDir, name))
+		if err != nil {
+			s.log.Warn("reading snapshot", "file", name, "err", err)
+			continue
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			s.log.Warn("decoding snapshot", "file", name, "err", err)
+			continue
+		}
+		if snap.ID != id {
+			s.log.Warn("snapshot id mismatch", "file", name, "snapshot", snap.ID)
+			continue
+		}
+		sess, err := s.restoreSession(&snap)
+		if err != nil {
+			s.log.Warn("recovering snapshot", "file", name, "err", err)
+			continue
+		}
+		if _, ok, err := s.register(sess); err != nil || !ok {
+			continue
+		}
+		// Server-generated ids are "s-N"; keep the counter ahead of every
+		// recovered one so new sessions cannot collide.
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s-"), 10, 64); err == nil {
+			s.mu.Lock()
+			if n > s.nextID {
+				s.nextID = n
+			}
+			s.mu.Unlock()
+		}
+		s.mRestores.With("recovery").Inc()
+		s.log.Info("session recovered", "session", id, "nextSlot", sess.next)
+		restored++
+	}
+	return restored
+}
+
+// handleSnapshot (POST /v1/sessions/{id}/snapshot) freezes the session
+// between slots and returns the snapshot document; when SnapshotDir is
+// configured it is persisted too. Snapshots stay available while the
+// server drains, so an orchestrator can save every session before
+// stopping the process.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, id, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session "+id)
+		return
+	}
+	sess.touch(s.cfg.now())
+	sess.stepMu.Lock()
+	defer sess.stepMu.Unlock()
+	if sess.isEvicted() {
+		writeError(w, http.StatusGone, "session evicted; restore it from its snapshot")
+		return
+	}
+	if s.cfg.SnapshotDir != "" {
+		if err := s.persistSnapshot(sess, "request"); err != nil {
+			s.log.Error("persisting snapshot", "session", id, "err", err)
+			writeError(w, http.StatusInternalServerError, "persisting snapshot: "+err.Error())
+			return
+		}
+	} else {
+		s.mSnapshots.With("request").Inc()
+	}
+	writeJSON(w, http.StatusOK, sess.snapshot())
+}
+
+// handleRestore (POST /v1/sessions/restore) recreates a session from a
+// snapshot document. Restoring an id that is already live is a
+// conflict; restoring one whose snapshot still sits on disk simply
+// replaces the file on the next persist.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer release()
+
+	var snap Snapshot
+	if !decodeBody(w, r, &snap) {
+		return
+	}
+	sess, err := s.restoreSession(&snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid snapshot: "+err.Error())
+		return
+	}
+	cur, restored, err := s.register(sess)
+	if err != nil {
+		s.reject(w, http.StatusTooManyRequests, "sessions-full", err.Error())
+		return
+	}
+	if !restored {
+		writeError(w, http.StatusConflict, "session "+cur.id+" already exists")
+		return
+	}
+	s.mRestores.With("request").Inc()
+	s.log.Info("session restored", "session", sess.id, "nextSlot", sess.next)
+	writeJSON(w, http.StatusCreated, createResponse{
+		ID: sess.id, I: sess.inst.I, J: sess.inst.J,
+		Horizon: sess.inst.T, Streaming: sess.streaming,
+	})
+}

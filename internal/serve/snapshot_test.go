@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"edgealloc/internal/model"
+)
+
+// snapshotSession hits the snapshot endpoint and returns the document.
+func snapshotSession(t *testing.T, base, id string) *Snapshot {
+	t.Helper()
+	var snap Snapshot
+	code, raw := doJSON(t, http.MethodPost, base+"/v1/sessions/"+id+"/snapshot", nil, &snap)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot %s: status %d: %s", id, code, raw)
+	}
+	return &snap
+}
+
+// restoreSessionHTTP posts the snapshot to the restore endpoint.
+func restoreSessionHTTP(t *testing.T, base string, snap *Snapshot) createResponse {
+	t.Helper()
+	var resp createResponse
+	code, raw := doJSON(t, http.MethodPost, base+"/v1/sessions/restore", snap, &resp)
+	if code != http.StatusCreated {
+		t.Fatalf("restore: status %d: %s", code, raw)
+	}
+	return resp
+}
+
+// driveSlots posts slots [from, to) of a replay session.
+func driveSlots(t *testing.T, base, id string, from, to int) []slotResponse {
+	t.Helper()
+	out := make([]slotResponse, 0, to-from)
+	for slot := from; slot < to; slot++ {
+		var resp slotResponse
+		code, raw := doJSON(t, http.MethodPost,
+			fmt.Sprintf("%s/v1/sessions/%s/slots", base, id),
+			map[string]any{"slot": slot}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("slot %d: status %d: %s", slot, code, raw)
+		}
+		out = append(out, resp)
+	}
+	return out
+}
+
+// TestSnapshotRestoreRoundTrip moves a half-run session to a second
+// daemon through the snapshot/restore endpoints and requires the
+// migrated continuation to match the uninterrupted run bitwise (the
+// default solving path restores exactly).
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	in := testInstance(t, 12, 6, 3)
+	_, tsA := newTestServer(t, Config{})
+	_, tsB := newTestServer(t, Config{})
+
+	id := createSession(t, tsA.URL, in)
+	driveSlots(t, tsA.URL, id, 0, 3)
+	snap := snapshotSession(t, tsA.URL, id)
+	if snap.State == nil || snap.State.Slot != 3 {
+		t.Fatalf("snapshot at slot %v, want 3", snap.State)
+	}
+
+	// The uninterrupted run continues on A; the migrated copy on B.
+	restored := restoreSessionHTTP(t, tsB.URL, snap)
+	if restored.ID != id || restored.Horizon != in.T {
+		t.Fatalf("restore response %+v", restored)
+	}
+	respA := driveSlots(t, tsA.URL, id, 3, in.T)
+	respB := driveSlots(t, tsB.URL, id, 3, in.T)
+	for k := range respA {
+		if respA[k].Cost != respB[k].Cost {
+			t.Fatalf("slot %d: migrated cost %+v != %+v", respA[k].Slot, respB[k].Cost, respA[k].Cost)
+		}
+	}
+	schedA := fetchSchedule(t, tsA.URL, id)
+	schedB := fetchSchedule(t, tsB.URL, id)
+	if !schedulesEqual(schedA, schedB) {
+		t.Fatal("migrated schedule differs from uninterrupted run")
+	}
+	last := respB[len(respB)-1]
+	if !last.Done || last.Conformance == nil || !last.Conformance.OK {
+		t.Fatalf("migrated run did not finish conformance-clean: %+v", last.Conformance)
+	}
+}
+
+// TestSnapshotRoundTripBytes pins the wire format: encode → decode →
+// encode must be byte-stable (the fuzz target generalizes this).
+func TestSnapshotRoundTripBytes(t *testing.T) {
+	in := testInstance(t, 8, 4, 5)
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, in)
+	driveSlots(t, ts.URL, id, 0, 2)
+	snap := snapshotSession(t, ts.URL, id)
+
+	first, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("snapshot JSON round trip is not byte-stable")
+	}
+}
+
+// TestCreateWithClientID covers router-style named sessions.
+func TestCreateWithClientID(t *testing.T) {
+	in := testInstance(t, 8, 3, 7)
+	_, ts := newTestServer(t, Config{})
+
+	var buf bytes.Buffer
+	if err := model.WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	body := map[string]any{"id": "user-42.trace", "instance": json.RawMessage(buf.Bytes())}
+	var resp createResponse
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", body, &resp)
+	if code != http.StatusCreated || resp.ID != "user-42.trace" {
+		t.Fatalf("create with id: status %d resp %+v: %s", code, resp, raw)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", body, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate id: status %d, want 409", code)
+	}
+	for _, bad := range []string{"has/slash", ".hidden", "a b", string(make([]byte, 200))} {
+		body["id"] = bad
+		if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("id %q: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestRestoreRejectsBadSnapshots exercises the restore validation.
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	in := testInstance(t, 8, 4, 9)
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, in)
+	driveSlots(t, ts.URL, id, 0, 2)
+	good := snapshotSession(t, ts.URL, id)
+
+	mutate := func(f func(*Snapshot)) *Snapshot {
+		raw, _ := json.Marshal(good)
+		var snap Snapshot
+		_ = json.Unmarshal(raw, &snap)
+		f(&snap)
+		return &snap
+	}
+	cases := map[string]*Snapshot{
+		"bad-version":    mutate(func(s *Snapshot) { s.Version = 99 }),
+		"no-instance":    mutate(func(s *Snapshot) { s.Instance = nil }),
+		"no-state":       mutate(func(s *Snapshot) { s.State = nil }),
+		"bad-id":         mutate(func(s *Snapshot) { s.ID = "../escape" }),
+		"tampered-state": mutate(func(s *Snapshot) { s.State.Schedule[0][0] = -1 }),
+		"slot-mismatch":  mutate(func(s *Snapshot) { s.State.Slot = 1 }),
+		"bad-options":    mutate(func(s *Snapshot) { s.Options.Candidates = -1 }),
+	}
+	for name, snap := range cases {
+		if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/restore", snap, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+	// Restoring over a live session is a conflict, not a replacement.
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/restore", good, nil); code != http.StatusConflict {
+		t.Error("restore over live session accepted")
+	}
+}
+
+// TestEvictToSnapshotAndDiskRestore drives the full disk lifecycle: TTL
+// eviction persists the warm state, the next request transparently
+// restores it, and the continuation matches the uninterrupted run
+// bitwise. Before evict-to-snapshot, TTL eviction silently dropped the
+// warm iterate and the session restarted from scratch.
+func TestEvictToSnapshotAndDiskRestore(t *testing.T) {
+	in := testInstance(t, 12, 6, 11)
+	dir := t.TempDir()
+	clock := struct {
+		sync.Mutex
+		t time.Time
+	}{t: time.Unix(1000, 0)}
+	now := func() time.Time {
+		clock.Lock()
+		defer clock.Unlock()
+		return clock.t
+	}
+	srv, ts := newTestServer(t, Config{SnapshotDir: dir, SessionTTL: time.Minute, now: now})
+	_, tsRef := newTestServer(t, Config{})
+
+	id := createSession(t, ts.URL, in)
+	ref := createSession(t, tsRef.URL, in)
+	driveSlots(t, ts.URL, id, 0, 3)
+	driveSlots(t, tsRef.URL, ref, 0, 3)
+
+	clock.Lock()
+	clock.t = clock.t.Add(2 * time.Minute)
+	clock.Unlock()
+	if n := srv.evictIdle(now()); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+snapExt)); err != nil {
+		t.Fatalf("snapshot not persisted on eviction: %v", err)
+	}
+	srv.mu.Lock()
+	_, live := srv.sessions[id]
+	srv.mu.Unlock()
+	if live {
+		t.Fatal("evicted session still in memory")
+	}
+
+	// The next slot post restores from disk transparently.
+	driveSlots(t, ts.URL, id, 3, in.T)
+	driveSlots(t, tsRef.URL, ref, 3, in.T)
+	if !schedulesEqual(fetchSchedule(t, ts.URL, id), fetchSchedule(t, tsRef.URL, ref)) {
+		t.Fatal("restored continuation differs from uninterrupted run")
+	}
+}
+
+// TestEvictionRaceGetsGoneNotOrphan is the regression test for the TTL
+// eviction race: a slot request that resolved its session before the
+// janitor evicted it must fail with 410 (and succeed on retry via the
+// disk snapshot) instead of solving into the orphaned object — which is
+// what happened before the evicted flag: the solve advanced warm state
+// the server had already dropped, silently losing the slot.
+func TestEvictionRaceGetsGoneNotOrphan(t *testing.T) {
+	in := testInstance(t, 10, 4, 13)
+	dir := t.TempDir()
+	clock := struct {
+		sync.Mutex
+		t time.Time
+	}{t: time.Unix(1000, 0)}
+	now := func() time.Time {
+		clock.Lock()
+		defer clock.Unlock()
+		return clock.t
+	}
+	looked := make(chan string)
+	proceed := make(chan struct{})
+	var hook func(string)
+	hookMu := sync.Mutex{}
+	cfg := Config{SnapshotDir: dir, SessionTTL: time.Minute, now: now,
+		hookPostLookup: func(id string) {
+			hookMu.Lock()
+			h := hook
+			hookMu.Unlock()
+			if h != nil {
+				h(id)
+			}
+		}}
+	srv, ts := newTestServer(t, cfg)
+
+	id := createSession(t, ts.URL, in)
+	driveSlots(t, ts.URL, id, 0, 2)
+
+	// Stall the next slot request between session lookup and the solve.
+	hookMu.Lock()
+	hook = func(sid string) {
+		looked <- sid
+		<-proceed
+	}
+	hookMu.Unlock()
+	type result struct {
+		code int
+		raw  []byte
+	}
+	done := make(chan result)
+	go func() {
+		buf, _ := json.Marshal(map[string]any{"slot": 2})
+		resp, err := http.Post(ts.URL+"/v1/sessions/"+id+"/slots", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			done <- result{0, []byte(err.Error())}
+			return
+		}
+		defer resp.Body.Close()
+		done <- result{resp.StatusCode, nil}
+	}()
+	<-looked
+	hookMu.Lock()
+	hook = nil
+	hookMu.Unlock()
+
+	// The janitor fires while the handler is parked: idle past TTL, no
+	// queued work, so the session evicts to disk.
+	clock.Lock()
+	clock.t = clock.t.Add(2 * time.Minute)
+	clock.Unlock()
+	if n := srv.evictIdle(now()); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	close(proceed)
+	res := <-done
+	if res.code != http.StatusGone {
+		t.Fatalf("raced request: status %d, want 410: %s", res.code, res.raw)
+	}
+
+	// Retrying resumes from the snapshot with the warm state intact.
+	driveSlots(t, ts.URL, id, 2, in.T)
+	var status statusResponse
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil, &status); code != http.StatusOK || !status.Done {
+		t.Fatalf("restored session did not finish: %d %+v", code, status)
+	}
+}
+
+// TestEvictionSkipsInFlightSolve pins the TryLock half of the race: a
+// session whose solve is running is never evicted, even when its
+// lastUsed timestamp has aged past the TTL.
+func TestEvictionSkipsInFlightSolve(t *testing.T) {
+	in := testInstance(t, 10, 3, 17)
+	clock := struct {
+		sync.Mutex
+		t time.Time
+	}{t: time.Unix(1000, 0)}
+	now := func() time.Time {
+		clock.Lock()
+		defer clock.Unlock()
+		return clock.t
+	}
+	solving := make(chan struct{})
+	finish := make(chan struct{})
+	var once sync.Once
+	srv, ts := newTestServer(t, Config{SnapshotDir: t.TempDir(), SessionTTL: time.Minute, now: now,
+		hookSolveStart: func(string) {
+			once.Do(func() {
+				close(solving)
+				<-finish
+			})
+		}})
+	id := createSession(t, ts.URL, in)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		driveSlots(t, ts.URL, id, 0, 1)
+	}()
+	<-solving
+	clock.Lock()
+	clock.t = clock.t.Add(2 * time.Minute)
+	clock.Unlock()
+	if n := srv.evictIdle(now()); n != 0 {
+		t.Fatalf("evicted %d sessions with a solve in flight, want 0", n)
+	}
+	close(finish)
+	<-done
+}
+
+// TestCrashRecovery restarts the daemon over the same snapshot
+// directory (autosnapshot persisting every slot) and requires the
+// recovered sessions to finish with the uninterrupted run's schedule.
+func TestCrashRecovery(t *testing.T) {
+	in := testInstance(t, 12, 6, 19)
+	dir := t.TempDir()
+
+	// First daemon: drive half the horizon, then "crash" (no shutdown,
+	// no snapshot call — only the autosnapshots survive).
+	crashed, tsA := newTestServer(t, Config{SnapshotDir: dir, Autosnapshot: true})
+	id := createSession(t, tsA.URL, in)
+	driveSlots(t, tsA.URL, id, 0, 3)
+	tsA.Close()
+	_ = crashed.Close()
+
+	_, tsRef := newTestServer(t, Config{})
+	ref := createSession(t, tsRef.URL, in)
+	driveSlots(t, tsRef.URL, ref, 0, in.T)
+
+	// Second daemon over the same directory recovers the session.
+	srv2, ts2 := newTestServer(t, Config{SnapshotDir: dir, Autosnapshot: true})
+	var status statusResponse
+	if code, raw := doJSON(t, http.MethodGet, ts2.URL+"/v1/sessions/"+id, nil, &status); code != http.StatusOK {
+		t.Fatalf("recovered session not found: %d: %s", code, raw)
+	}
+	if status.NextSlot != 3 {
+		t.Fatalf("recovered at slot %d, want 3", status.NextSlot)
+	}
+	driveSlots(t, ts2.URL, id, 3, in.T)
+	if !schedulesEqual(fetchSchedule(t, ts2.URL, id), fetchSchedule(t, tsRef.URL, ref)) {
+		t.Fatal("recovered continuation differs from uninterrupted run")
+	}
+
+	// Recovered server-generated ids must not collide with new ones.
+	id2 := createSession(t, ts2.URL, in)
+	if id2 == id {
+		t.Fatalf("new session reused recovered id %s", id)
+	}
+	_ = srv2
+}
+
+// TestDeleteRemovesSnapshot: an explicit DELETE is an intentional
+// discard — the disk snapshot goes too, so the session cannot
+// resurrect through the lookup fallback.
+func TestDeleteRemovesSnapshot(t *testing.T) {
+	in := testInstance(t, 8, 3, 23)
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{SnapshotDir: dir})
+	id := createSession(t, ts.URL, in)
+	driveSlots(t, ts.URL, id, 0, 1)
+	snapshotSession(t, ts.URL, id)
+	if _, err := os.Stat(filepath.Join(dir, id+snapExt)); err != nil {
+		t.Fatal("snapshot endpoint did not persist with SnapshotDir set")
+	}
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+snapExt)); !os.IsNotExist(err) {
+		t.Fatal("snapshot survived DELETE")
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted session still reachable: %d", code)
+	}
+}
