@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench benchjson bench-diff serve-bench soak fuzz cover
+.PHONY: check fmt vet lint build test race bench benchjson bench-diff serve-bench soak dist-soak fuzz cover
 
 check: fmt vet lint build test race
 
@@ -61,6 +61,8 @@ fuzz:
 	@$(GO) test -run '^$$' -fuzz '^FuzzFastMathVsStdlib$$' -fuzztime $(FUZZTIME) ./internal/numkernel/
 	@echo "== FuzzSnapshotRoundTrip ($(FUZZTIME)) =="
 	@$(GO) test -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	@echo "== FuzzShardRPCCodec ($(FUZZTIME)) =="
+	@$(GO) test -run '^$$' -fuzz '^FuzzShardRPCCodec$$' -fuzztime $(FUZZTIME) ./internal/solver/shardrpc/
 
 # Coverage with per-package floors on the guarantee-bearing packages
 # (scripts/cover.sh; floors recorded in DESIGN.md §8).
@@ -100,3 +102,11 @@ SOAK_ITERS ?= 3
 
 soak:
 	$(GO) test -race -timeout 20m -run 'TestServeSoak' -count $(SOAK_ITERS) ./internal/serve/
+
+# Distributed-shard soak: real edgeshard worker processes behind the
+# shardrpc transport, with a kill -9 / restart chaos loop running while
+# the race-instrumented TestDistSoak drives full horizons through them
+# and pins the result against the in-process reference
+# (scripts/dist_soak.sh; log in dist-soak.log).
+dist-soak:
+	./scripts/dist_soak.sh

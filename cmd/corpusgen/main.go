@@ -22,6 +22,7 @@ import (
 	"edgealloc/internal/model"
 	"edgealloc/internal/scenario"
 	"edgealloc/internal/serve"
+	"edgealloc/internal/solver/shardrpc"
 )
 
 func main() {
@@ -30,6 +31,58 @@ func main() {
 	writeShardCorpus()
 	writeIncrementalCorpus()
 	writeSnapshotCorpus()
+	writeShardRPCCorpus()
+}
+
+// writeShardRPCCorpus pins the wire-codec boundaries of the
+// shard-worker protocol's byte-stability fuzz FuzzShardRPCCodec: a full
+// BlockSpec with awkward floats (ties, subnormals, shortest-repr edge
+// cases the encoder must round-trip bit-exactly), the empty-block corner
+// (NJ = 0, every packed slice empty), the other three document kinds,
+// and near-valid envelopes that Validate must reject cleanly.
+func writeShardRPCCorpus() {
+	dir := filepath.Join("internal", "solver", "shardrpc", "testdata", "fuzz", "FuzzShardRPCCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	spec := &shardrpc.BlockSpec{
+		ID: "corpus-b0", Slot: 3, Gen: 2, NI: 2, NJ: 3, Eps2: 1e-6,
+		FastMath: true,
+		RowPtr:   []int{0, 2, 4},
+		Cols:     []int{0, 1, 1, 2},
+		Coef:     []float64{0.1 + 0.2, math.Nextafter(1, 2), -7.25, 1e-300},
+		Prev:     []float64{0.5, 0, math.SmallestNonzeroFloat64, 2},
+		MgFac:    []float64{1, math.Sqrt2, 3, 4},
+		Warm:     []float64{0.25, 0.25, 0.5, 0},
+		Theta:    []float64{0, -1.5, math.Pi},
+		Demand:   []float64{1, 2, 0.75},
+		Solver: shardrpc.SolverOptions{MaxOuter: 4, InnerIters: 50, Penalty: 8,
+			PenaltyGrowth: 5, FeasTol: 1e-7, ObjTol: 1e-9, DualTol: 1e-6},
+	}
+	empty := &shardrpc.BlockSpec{
+		ID: "corpus-empty", NI: 2, NJ: 0, Eps2: 0.01,
+		RowPtr: []int{0, 0, 0},
+		Solver: shardrpc.SolverOptions{MaxOuter: 1, InnerIters: 1, FeasTol: 1e-6},
+	}
+	seeds := map[string][]byte{
+		"seed-spec":       shardrpc.EncodeBlockSpec(spec),
+		"seed-spec-empty": shardrpc.EncodeBlockSpec(empty),
+		"seed-solve-req": shardrpc.EncodeSolveRequest(&shardrpc.SolveRequest{
+			ID: "corpus-b0", Slot: 3, Gen: 2, Rho: 16, Target: []float64{0.1 + 0.2, 1e-300}}),
+		"seed-solve-resp": shardrpc.EncodeSolveResponse(&shardrpc.SolveResponse{
+			Totals: []float64{math.Nextafter(2, 3), 0}, Outer: 3, Inner: 40}),
+		"seed-state-resp": shardrpc.EncodeStateResponse(&shardrpc.StateResponse{
+			X: []float64{0.5, math.SmallestNonzeroFloat64}, Theta: []float64{-0.125}}),
+		"seed-bad-cols":  []byte(`{"id":"x","ni":1,"nj":1,"eps2":0.01,"rowPtr":[0,1],"cols":[9],"coef":[1],"prev":[0],"mgFac":[1],"warm":[0],"theta":[0],"demand":[1],"solver":{}}`),
+		"seed-truncated": []byte(`{"id":"x","ni":2,"nj":`),
+	}
+	for name, body := range seeds {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("corpus written to", dir)
 }
 
 // writeSnapshotCorpus pins the session-snapshot codec boundaries for

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"edgealloc/internal/experiments"
@@ -49,6 +50,8 @@ func run() int {
 			"with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
 		shards = flag.Int("shards", 0,
 			"split the paper algorithm's per-slot solve across this many user shards coordinated by consensus ADMM in the ablations (0 = single program; composes with -candidates and -fastmath)")
+		shardWkrs = flag.String("shard-workers", "",
+			"comma-separated shard-worker base URLs (cmd/edgeshard) to place the ablations' shard blocks on over RPC; dead workers fold back to local solving (requires -shards)")
 		incr = flag.Bool("incremental", false,
 			"solve the paper algorithm's slots incrementally in the ablations: re-solve only users whose attachment changed, gated by dual feasibility")
 		incrTol = flag.Float64("incremental-tol", 0,
@@ -105,6 +108,10 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
+		if missing := perf.MissingRecords(base, perf.Specs(true)); len(missing) > 0 {
+			return fail(fmt.Errorf("%d kernel(s) have no record in %s: %v — record them with -scale -benchjson",
+				len(missing), *benchdiff, missing))
+		}
 		rows := perf.Diff(base, perf.RunAll(*scale))
 		perf.WriteDiffTable(os.Stdout, rows)
 		if missing := perf.MissingBaselines(rows); len(missing) > 0 {
@@ -129,6 +136,7 @@ func run() int {
 		Workers:        *workers,
 		Candidates:     *candidates,
 		Shards:         *shards,
+		ShardWorkers:   splitCSV(*shardWkrs),
 		FastMath:       *fastmath,
 		FastMathF32:    *fastmath32,
 		Incremental:    *incr,
@@ -148,4 +156,16 @@ func run() int {
 		fmt.Printf("   (%s in %v)\n\n", res.Figure, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// splitCSV splits a comma-separated flag value into its non-empty,
+// whitespace-trimmed items (nil for an empty value).
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +41,7 @@ func run(args []string, errw io.Writer) int {
 		fastmath    = fs.Bool("fastmath", false, "solve every session with the batch fast-math entropy kernels (costs agree with the exact path to 1e-8)")
 		fastmath32  = fs.Bool("fastmath32", false, "with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
 		shards      = fs.Int("shards", 0, "split every session's per-slot solve across this many user shards coordinated by consensus ADMM (0 = single program)")
+		shardWkrs   = fs.String("shard-workers", "", "comma-separated shard-worker base URLs (cmd/edgeshard) to place every sharded session's blocks on over RPC; dead workers fold back to local solving (requires -shards)")
 		incremental = fs.Bool("incremental", false, "solve every session's slots incrementally: re-solve only users whose attachment changed, gated by dual feasibility")
 		incrTol     = fs.Float64("incremental-tol", 0, "relative dual-feasibility tolerance of the incremental gate (0 = package default)")
 		snapDir     = fs.String("snapshot-dir", "", "persist session snapshots here: TTL eviction saves warm state to disk and a restarted daemon recovers every session found (empty = no persistence)")
@@ -66,6 +68,7 @@ func run(args []string, errw io.Writer) int {
 		FastMath:       *fastmath,
 		FastMathF32:    *fastmath32,
 		Shards:         *shards,
+		ShardWorkers:   splitCSV(*shardWkrs),
 		Incremental:    *incremental,
 		IncrementalTol: *incrTol,
 		SnapshotDir:    *snapDir,
@@ -106,4 +109,16 @@ func run(args []string, errw io.Writer) int {
 		code = 1
 	}
 	return code
+}
+
+// splitCSV splits a comma-separated flag value into its non-empty,
+// whitespace-trimmed items (nil for an empty value).
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -48,6 +48,7 @@ func run(args []string, outw, errw io.Writer) int {
 		seed      = fs.Int64("seed", 1, "scenario seed")
 		rates     = fs.String("rates", "10,20,40,80,160", "comma-separated offered rates (slot-advances/sec); the default spans the 1-vCPU saturation knee")
 		step      = fs.Duration("step", 5*time.Second, "duration of each rate step")
+		resolve   = fs.Bool("resolve", false, "treat -base as an edgerouter: resolve each session's owner via /admin/owner and dial it directly")
 		benchjson = fs.String("benchjson", "", "write the sweep report to this file (BENCH_serve.json)")
 		benchdiff = fs.String("benchdiff", "", "gate the sweep against this baseline report")
 		threshold = fs.Float64("threshold", 0.5, "latency growth tolerated by -benchdiff (0.5 = +50%)")
@@ -64,6 +65,9 @@ func run(args []string, outw, errw io.Writer) int {
 	}
 	if (*base == "") == !*self {
 		return fail(fmt.Errorf("exactly one of -base or -self required"))
+	}
+	if *resolve && *self {
+		return fail(fmt.Errorf("-resolve needs an edgerouter -base, not -self"))
 	}
 
 	rateList, err := parseRates(*rates)
@@ -104,6 +108,7 @@ func run(args []string, outw, errw io.Writer) int {
 		Base:     target,
 		Sessions: *sessions,
 		Instance: in,
+		Resolve:  *resolve,
 	}
 	if err := runner.Setup(ctx); err != nil {
 		return fail(err)

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"edgealloc/internal/core"
+	"edgealloc/internal/solver/shardrpc"
+	"edgealloc/internal/telemetry"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+		errs string // substring required on stderr
+	}{
+		{"bad flag", []string{"-nope"}, 2, "-nope"},
+		{"positional args", []string{"extra"}, 2, "unexpected arguments"},
+		{"non-duration drain", []string{"-drain-wait", "soon"}, 2, "invalid"},
+		{"unlistenable addr", []string{"-addr", "256.256.256.256:99999"}, 1, "listener failed"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			if got := run(tt.args, &stderr); got != tt.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tt.args, got, tt.want, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tt.errs) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tt.errs)
+			}
+		})
+	}
+}
+
+// TestMuxSurface drives the assembled worker mux end to end: health and
+// metrics respond, the shard endpoints host a block, and the hosted
+// count shows up on both probes.
+func TestMuxSurface(t *testing.T) {
+	host := core.NewShardHost()
+	srv := httptest.NewServer(newMux(host, telemetry.NewRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok blocks=0") {
+		t.Fatalf("GET /healthz = %d %q", code, body)
+	}
+
+	c := shardrpc.NewClient(srv.URL, shardrpc.ClientOptions{})
+	spec := &shardrpc.BlockSpec{
+		ID: "blk", NI: 2, NJ: 1, Eps2: 0.01,
+		RowPtr: []int{0, 1, 2}, Cols: []int{0, 0},
+		Coef: []float64{1, 2}, Prev: []float64{0.5, 0.5},
+		MgFac: []float64{1, 1}, Warm: []float64{0.5, 0.5},
+		Theta: []float64{0}, Demand: []float64{1},
+	}
+	if err := c.BeginSlot(context.Background(), spec); err != nil {
+		t.Fatalf("begin-slot through the mux: %v", err)
+	}
+	resp, err := c.Solve(context.Background(), "blk", 0, 0, 4, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatalf("solve through the mux: %v", err)
+	}
+	if len(resp.Totals) != 2 {
+		t.Fatalf("solve returned %d totals, want 2", len(resp.Totals))
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok blocks=1") {
+		t.Fatalf("GET /healthz after hosting = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "edgealloc_shardworker_blocks 1") {
+		t.Fatalf("GET /metrics = %d %q", code, body)
+	}
+}

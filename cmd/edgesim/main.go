@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"edgealloc/internal/experiments"
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fastmath   = fs.Bool("fastmath", false, "evaluate the paper algorithm's entropy terms with the batch fast-math kernels (costs agree with the exact path to 1e-8; not bitwise-reproducible against it)")
 		fastmath32 = fs.Bool("fastmath32", false, "with the fast-math kernels, store the ratio scratch in float32 (implies -fastmath)")
 		shards     = fs.Int("shards", 0, "split the paper algorithm's per-slot solve across this many user shards coordinated by consensus ADMM (0 = single program; composes with -candidates and -fastmath)")
+		shardWkrs  = fs.String("shard-workers", "", "comma-separated shard-worker base URLs (cmd/edgeshard, e.g. http://127.0.0.1:9711,http://127.0.0.1:9712) to place the shard blocks on over RPC; dead workers fold back to local solving (requires -shards)")
 		incr       = fs.Bool("incremental", false, "solve the paper algorithm's slots incrementally: re-solve only users whose attachment changed, gated by dual feasibility (composes with -candidates, -fastmath, and -shards)")
 		incrTol    = fs.Float64("incremental-tol", 0, "relative dual-feasibility tolerance of the incremental gate (0 = package default)")
 		noconform  = fs.Bool("noconform", false, "disable the paper-conformance oracle on every run (it is on by default)")
@@ -98,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:         *workers,
 		Candidates:      *candidates,
 		Shards:          *shards,
+		ShardWorkers:    splitCSV(*shardWkrs),
 		FastMath:        *fastmath,
 		FastMathF32:     *fastmath32,
 		Incremental:     *incr,
@@ -158,4 +161,16 @@ func dumpMetrics(path string, r *telemetry.Registry) error {
 		return fmt.Errorf("writing metrics: %w", err)
 	}
 	return nil
+}
+
+// splitCSV splits a comma-separated flag value into its non-empty,
+// whitespace-trimmed items (nil for an empty value).
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -82,6 +82,24 @@ type Options struct {
 	ShardMaxIters  int
 	ShardPrimalTol float64
 	ShardDualTol   float64
+	// ShardWorkers lists shard-worker base URLs (cmd/edgeshard instances,
+	// e.g. "http://127.0.0.1:9711"). When non-empty and Shards > 0, each
+	// shard block is placed on a worker round-robin and its consensus
+	// x-steps run there over the shardrpc protocol, with the in-process
+	// block kept as a warm mirror: worker failures retry with backoff,
+	// worker restarts are replayed from the mirror's last round state, and
+	// a worker that stays unreachable folds its blocks back into local
+	// solving, so a run never fails because a worker died. Workers run the
+	// identical solve code, so a clean-path distributed run is bitwise
+	// equal to the in-process run. Empty (the default) keeps every solve
+	// in-process and the sharded path bitwise unchanged.
+	ShardWorkers []string
+	// ShardRPCTimeout bounds one worker HTTP attempt and ShardRPCRetries
+	// is the number of re-attempts after a retryable failure. Zero values
+	// take the shardrpc defaults (30s, 2); negative retries disable
+	// retrying. Only meaningful with ShardWorkers.
+	ShardRPCTimeout time.Duration
+	ShardRPCRetries int
 	// CandidateTol is the reduced-cost tolerance of the pricing pass,
 	// relative to 1 + |static coefficient| per pair (default 1e-7):
 	// pruned pairs priced below −CandidateTol·(1+|ā_ij|) rejoin the

@@ -2,11 +2,15 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"os"
+	"sync/atomic"
 
 	"edgealloc/internal/model"
 	"edgealloc/internal/solver/alm"
 	"edgealloc/internal/solver/shard"
+	"edgealloc/internal/solver/shardrpc"
 )
 
 // This file implements the user-sharded solving layer of the online
@@ -32,6 +36,11 @@ type shardState struct {
 	parts  []shard.Range
 	blocks []*shardBlock
 	coord  *shard.Coordinator
+	// remotes[si] is the RPC transport placing block si on a shard worker
+	// (Options.ShardWorkers; nil when solving in-process). remoteDead
+	// tracks fold transitions for the stats counter.
+	remotes    []*shardrpc.RemoteBlock
+	remoteDead []bool
 	// nearest[a] lists the Options.Candidates clouds closest to cloud a;
 	// nil when Candidates is off, in which case allClouds admits the full
 	// variable space of every shard.
@@ -85,6 +94,11 @@ type ShardStats struct {
 	// total number of users the freeze gate thawed back in.
 	Frozen     int
 	Readmitted int
+	// RemoteFallbacks counts remote blocks folded back into local solving
+	// (Options.ShardWorkers; zero otherwise). A folded block re-probes its
+	// worker at the next few slot boundaries, so one flapping worker can
+	// contribute several folds.
+	RemoteFallbacks int
 }
 
 // ShardStats returns the sharded-path work counters (zero value when the
@@ -149,6 +163,29 @@ func (o *OnlineApprox) initShard(in *model.Instance) {
 		s.blocks[si] = b
 		ifaces[si] = b
 	}
+	if workers := o.opts.ShardWorkers; len(workers) > 0 {
+		copts := shardrpc.ClientOptions{
+			Timeout: o.opts.ShardRPCTimeout,
+			Retries: o.opts.ShardRPCRetries,
+			Metrics: o.opts.Metrics,
+		}
+		clients := make([]*shardrpc.Client, len(workers))
+		for w, base := range workers {
+			clients[w] = shardrpc.NewClient(base, copts)
+		}
+		// Block IDs must be unique across every coordinator a worker may
+		// serve concurrently (several edged replicas, several harness
+		// runs), so they carry the process ID and a per-process run
+		// counter.
+		run := shardRunSeq.Add(1)
+		s.remotes = make([]*shardrpc.RemoteBlock, len(parts))
+		s.remoteDead = make([]bool, len(parts))
+		for si := range parts {
+			id := fmt.Sprintf("p%d-r%d-s%d", os.Getpid(), run, si)
+			s.remotes[si] = shardrpc.NewRemoteBlock(clients[si%len(clients)], id, s.blocks[si])
+			ifaces[si] = s.remotes[si]
+		}
+	}
 	lambda := in.TotalWorkload()
 	complRHS := make([]float64, in.I)
 	for i := 0; i < in.I; i++ {
@@ -172,6 +209,10 @@ func (o *OnlineApprox) initShard(in *model.Instance) {
 	})
 	o.shrd = s
 }
+
+// shardRunSeq disambiguates the remote-block IDs of coordinators living
+// in the same process (see initShard).
+var shardRunSeq atomic.Uint64
 
 // zStepOptions derives the coordinator's consensus z-step budget from the
 // block budget. The z-step is an I-dimensional program (one variable per
@@ -221,6 +262,9 @@ func (o *OnlineApprox) solveShard(ctx context.Context, t int) (*alm.Result, []fl
 		b.frozen = o.opts.Incremental && t > 0 && s.committed && blockUntouched(in, t, b.rng)
 		b.beginSlot(o, warmDense, t, ctx)
 	}
+	for _, rb := range s.remotes {
+		rb.BeginSlot(t, ctx)
+	}
 	s.coord.BeginSlot()
 	for i := range s.blockSecs {
 		s.blockSecs[i] = 0
@@ -244,6 +288,13 @@ func (o *OnlineApprox) solveShard(ctx context.Context, t int) (*alm.Result, []fl
 		for i, sec := range r.BlockSeconds {
 			s.blockSecs[i] += sec
 		}
+		// Pull remote post-round state into the mirrors before anything
+		// below reads block iterates or duals. A block that failed to sync
+		// reverts to its round-start state, so its contribution to the
+		// assembled result must be re-derived: lost > 0 forces another
+		// coordination round (bounded — a repeatedly failing block folds
+		// back to local solving, after which its sync is trivially clean).
+		lost := s.syncRemotes()
 		thawed := 0
 		if o.opts.Incremental {
 			if !r.Converged {
@@ -258,14 +309,19 @@ func (o *OnlineApprox) solveShard(ctx context.Context, t int) (*alm.Result, []fl
 		if o.opts.Candidates > 0 {
 			added = o.priceAndExpandShard(r)
 		}
-		if thawed == 0 && added == 0 {
+		if thawed == 0 && added == 0 && lost == 0 {
 			break
 		}
 		s.stats.Expanded += added
 		s.stats.Readmitted += thawed
-		for _, b := range s.blocks {
+		for si, b := range s.blocks {
 			if b.dirty {
 				b.rebind(o)
+				if s.remotes != nil {
+					// The candidate relayout changed the packed geometry;
+					// the worker's copy is invalid until re-pushed.
+					s.remotes[si].Invalidate()
+				}
 			}
 		}
 	}
@@ -288,6 +344,9 @@ func (o *OnlineApprox) solveShard(ctx context.Context, t int) (*alm.Result, []fl
 	// coordinator prices and shard duals exactly as the last successful
 	// slot wrote them, matching StepCtx's cancellation contract.
 	s.coord.CommitSlot()
+	for _, rb := range s.remotes {
+		rb.Commit()
+	}
 	s.committed = true
 	maxSec := 0.0
 	for i, b := range s.blocks {
@@ -331,6 +390,29 @@ func blockUntouched(in *model.Instance, t int, rng shard.Range) bool {
 		}
 	}
 	return true
+}
+
+// syncRemotes pulls every remote block's post-round state into its
+// mirror (no-op in-process), returning the number of blocks whose sync
+// failed — their mirrors hold round-start state, so the caller must run
+// another coordination round before assembling the result. It also
+// moves fold transitions into the stats counter.
+func (s *shardState) syncRemotes() int {
+	lost := 0
+	for si, rb := range s.remotes {
+		if err := rb.SyncState(); err != nil {
+			lost++
+		}
+		if rb.Dead() {
+			if !s.remoteDead[si] {
+				s.remoteDead[si] = true
+				s.stats.RemoteFallbacks++
+			}
+		} else {
+			s.remoteDead[si] = false
+		}
+	}
+	return lost
 }
 
 // thawFrozen re-admits every frozen shard, restoring its committed
@@ -711,25 +793,32 @@ func (b *shardBlock) Solve(rho float64, target, totals []float64) (int, int, err
 // budgets the demand rows already hold to ~1e-10 and the projection is a
 // no-op up to floating-point roundoff.
 func (b *shardBlock) projectDemand() {
-	x := b.warm[:b.cand.NNZ()]
-	for jl := range b.served {
-		b.served[jl] = 0
+	packedProjectDemand(b.warm[:b.cand.NNZ()], b.cand.Cols, b.demand, b.served)
+}
+
+// packedProjectDemand is projectDemand on a packed point: negatives clip
+// to zero, then every user column scales onto its demand. served is
+// per-user scratch. Shared with the worker-side ShardHost so the remote
+// solve is operation-for-operation the local one.
+func packedProjectDemand(x []float64, cols []int, demand, served []float64) {
+	for jl := range served {
+		served[jl] = 0
 	}
 	for k, v := range x {
 		if v < 0 {
 			x[k], v = 0, 0
 		}
-		b.served[b.cand.Cols[k]] += v
+		served[cols[k]] += v
 	}
-	for jl, s := range b.served {
+	for jl, s := range served {
 		if s > 0 {
-			b.served[jl] = b.demand[jl] / s
+			served[jl] = demand[jl] / s
 		} else {
-			b.served[jl] = 1
+			served[jl] = 1
 		}
 	}
 	for k := range x {
-		x[k] *= b.served[b.cand.Cols[k]]
+		x[k] *= served[cols[k]]
 	}
 }
 
@@ -748,6 +837,73 @@ func (b *shardBlock) totalsInto(tot, x []float64) {
 		tot[i] = s
 	}
 }
+
+// packedTotalsInto writes a packed point's per-cloud totals (the free
+// form of totalsInto, shared with the worker-side ShardHost).
+func packedTotalsInto(tot, x []float64, rowPtr []int) {
+	for i := 0; i+1 < len(rowPtr); i++ {
+		s := 0.0
+		for _, v := range x[rowPtr[i]:rowPtr[i+1]] {
+			s += v
+		}
+		tot[i] = s
+	}
+}
+
+// Frozen implements shardrpc.Mirror: frozen blocks skip their solves
+// entirely, so the transport keeps them off the network.
+func (b *shardBlock) Frozen() bool { return b.frozen }
+
+// Spec implements shardrpc.Mirror: a deep copy of the block's current
+// bind and warm state under the given wire identity. Called at spec
+// pushes — once per (slot, relayout, worker restart) — so the copies are
+// off every hot path.
+func (b *shardBlock) Spec(id string, slot, gen int) *shardrpc.BlockSpec {
+	nnz := b.cand.NNZ()
+	so := &b.obj
+	return &shardrpc.BlockSpec{
+		ID:         id,
+		Slot:       slot,
+		Gen:        gen,
+		NI:         so.nI,
+		NJ:         b.nJ,
+		Eps2:       so.eps2,
+		FastMath:   so.fast && !so.fast32,
+		FastMath32: so.fast32,
+		RowPtr:     append([]int(nil), b.cand.RowPtr...),
+		Cols:       append([]int(nil), b.cand.Cols[:nnz]...),
+		Coef:       append([]float64(nil), so.coef[:nnz]...),
+		Prev:       append([]float64(nil), so.prev[:nnz]...),
+		MgFac:      append([]float64(nil), so.mgFac[:nnz]...),
+		Warm:       append([]float64(nil), b.warm[:nnz]...),
+		Theta:      append([]float64(nil), b.thetaIter...),
+		Demand:     append([]float64(nil), b.demand...),
+		Solver: shardrpc.SolverOptions{
+			MaxOuter:      b.sopts.MaxOuter,
+			InnerIters:    b.sopts.InnerIters,
+			Penalty:       b.sopts.Penalty,
+			PenaltyGrowth: b.sopts.PenaltyGrowth,
+			FeasTol:       b.sopts.FeasTol,
+			ObjTol:        b.sopts.ObjTol,
+			DualTol:       b.sopts.DualTol,
+		},
+	}
+}
+
+// SetState implements shardrpc.Mirror: the worker's post-round iterate
+// and demand duals overwrite the mirror's warm state.
+func (b *shardBlock) SetState(x, theta []float64) error {
+	nnz := b.cand.NNZ()
+	if len(x) != nnz || len(theta) != b.nJ {
+		return fmt.Errorf("core: shard state size mismatch: got %d vars and %d duals, want %d and %d",
+			len(x), len(theta), nnz, b.nJ)
+	}
+	copy(b.warm[:nnz], x)
+	copy(b.thetaIter, theta)
+	return nil
+}
+
+var _ shardrpc.Mirror = (*shardBlock)(nil)
 
 // scatterInto writes the packed solution into the global dense image.
 func (b *shardBlock) scatterInto(dense []float64, nJ int) {

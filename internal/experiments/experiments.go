@@ -72,6 +72,10 @@ type Params struct {
 	// the single-program path, bitwise-unchanged. Composes with
 	// Candidates and FastMath.
 	Shards int
+	// ShardWorkers lists shard-worker base URLs (cmd/edgeshard) to place
+	// the shard blocks on over RPC (core.Options.ShardWorkers); empty
+	// solves every shard in-process. Only meaningful with Shards > 0.
+	ShardWorkers []string
 	// Incremental turns on event-driven incremental slot solving
 	// (core.Options.Incremental): each slot re-solves only the users
 	// whose attachment changed, holding everyone else at their warm
@@ -221,6 +225,7 @@ type approxAlg struct {
 	eps1, eps2     float64
 	candidates     int
 	shards         int
+	shardWorkers   []string
 	fastMath       bool
 	fastMathF32    bool
 	incremental    bool
@@ -236,6 +241,7 @@ func (a approxAlg) Solve(in *model.Instance) (model.Schedule, error) {
 		Epsilon2:       a.eps2,
 		Candidates:     a.candidates,
 		Shards:         a.shards,
+		ShardWorkers:   a.shardWorkers,
 		FastMath:       a.fastMath,
 		FastMathF32:    a.fastMathF32,
 		Incremental:    a.incremental,
@@ -252,7 +258,8 @@ var _ sim.Algorithm = approxAlg{}
 // approx builds the paper's algorithm adapter under p's knobs.
 func (p Params) approx() approxAlg {
 	return approxAlg{candidates: p.Candidates, shards: p.Shards,
-		fastMath: p.FastMath, fastMathF32: p.FastMathF32,
+		shardWorkers: p.ShardWorkers,
+		fastMath:     p.FastMath, fastMathF32: p.FastMathF32,
 		incremental: p.Incremental, incrementalTol: p.IncrementalTol,
 		metrics: p.Metrics}
 }
@@ -358,7 +365,7 @@ func Fig1(p Params) (*Result, error) {
 			return nil, fmt.Errorf("experiments: fig1 %s: %w", tc.label, err)
 		}
 		apRun, err := sim.ExecuteOpts(tc.inst, approxAlg{
-			shards:   p.Shards,
+			shards: p.Shards, shardWorkers: p.ShardWorkers,
 			fastMath: p.FastMath, fastMathF32: p.FastMathF32,
 			incremental: p.Incremental, incrementalTol: p.IncrementalTol,
 			metrics: p.Metrics}, p.simOptions())
@@ -455,7 +462,8 @@ func Fig4(p Params) (*Result, error) {
 			Algs: func() []sim.Algorithm {
 				return []sim.Algorithm{approxAlg{
 					eps1: eps, eps2: eps, candidates: p.Candidates, shards: p.Shards,
-					fastMath: p.FastMath, fastMathF32: p.FastMathF32,
+					shardWorkers: p.ShardWorkers,
+					fastMath:     p.FastMath, fastMathF32: p.FastMathF32,
 					incremental: p.Incremental, incrementalTol: p.IncrementalTol,
 					metrics: p.Metrics}}
 			},

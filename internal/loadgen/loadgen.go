@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,11 +44,19 @@ type Runner struct {
 	Instance *model.Instance
 	// IDPrefix namespaces the session ids (default "load").
 	IDPrefix string
+	// Resolve treats Base as an edgerouter front: each session's owning
+	// replica is looked up once via GET Base/admin/owner?session=<id>
+	// and all traffic for that session dials the owner directly, taking
+	// the router's forwarding copy off the hot path while leaving
+	// placement decisions with the router. Rebirths re-resolve, since a
+	// fresh id may hash to a different owner.
+	Resolve bool
 
 	instRaw json.RawMessage
 	ids     []string
-	next    []int // next slot per population index
-	gen     []int // rebirth count per population index
+	next    []int    // next slot per population index
+	gen     []int    // rebirth count per population index
+	targets []string // direct-dial base per population index (Resolve mode)
 }
 
 // Step is one rate point of a sweep: offered load, what the target
@@ -102,6 +111,44 @@ func (r *Runner) prefix() string {
 	return "load"
 }
 
+// baseFor is the base URL session traffic for population index k uses:
+// the resolved owner in Resolve mode, the configured target otherwise.
+func (r *Runner) baseFor(k int) string {
+	if r.targets != nil && r.targets[k] != "" {
+		return r.targets[k]
+	}
+	return r.Base
+}
+
+// resolveOwner asks the router which replica owns id.
+func (r *Runner) resolveOwner(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		r.Base+"/admin/owner?session="+url.QueryEscape(id), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("loadgen: resolving owner of %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("loadgen: resolving owner of %s: status %d: %s",
+			id, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var doc struct {
+		Owner string `json:"owner"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return "", fmt.Errorf("loadgen: decoding owner of %s: %w", id, err)
+	}
+	if doc.Owner == "" {
+		return "", fmt.Errorf("loadgen: router reported no owner for %s", id)
+	}
+	return doc.Owner, nil
+}
+
 // Setup encodes the instance template and creates the session
 // population.
 func (r *Runner) Setup(ctx context.Context) error {
@@ -119,6 +166,9 @@ func (r *Runner) Setup(ctx context.Context) error {
 	r.ids = make([]string, r.Sessions)
 	r.next = make([]int, r.Sessions)
 	r.gen = make([]int, r.Sessions)
+	if r.Resolve {
+		r.targets = make([]string, r.Sessions)
+	}
 	for k := 0; k < r.Sessions; k++ {
 		if err := r.createSession(ctx, k); err != nil {
 			return err
@@ -129,9 +179,9 @@ func (r *Runner) Setup(ctx context.Context) error {
 
 // Teardown deletes the current session population (best effort).
 func (r *Runner) Teardown(ctx context.Context) {
-	for _, id := range r.ids {
+	for k, id := range r.ids {
 		req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
-			r.Base+"/v1/sessions/"+id, nil)
+			r.baseFor(k)+"/v1/sessions/"+id, nil)
 		if err != nil {
 			continue
 		}
@@ -144,12 +194,19 @@ func (r *Runner) Teardown(ctx context.Context) {
 // createSession registers population slot k under a fresh id.
 func (r *Runner) createSession(ctx context.Context, k int) error {
 	id := fmt.Sprintf("%s-%d-g%d", r.prefix(), k, r.gen[k])
+	if r.Resolve {
+		owner, err := r.resolveOwner(ctx, id)
+		if err != nil {
+			return err
+		}
+		r.targets[k] = owner
+	}
 	body, err := json.Marshal(map[string]any{"id": id, "instance": r.instRaw})
 	if err != nil {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		r.Base+"/v1/sessions", bytes.NewReader(body))
+		r.baseFor(k)+"/v1/sessions", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -185,7 +242,7 @@ func (r *Runner) advance(ctx context.Context, k int, hist *Histogram, completed,
 	}
 	body, _ := json.Marshal(map[string]any{"slot": r.next[k]})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		r.Base+"/v1/sessions/"+r.ids[k]+"/slots", bytes.NewReader(body))
+		r.baseFor(k)+"/v1/sessions/"+r.ids[k]+"/slots", bytes.NewReader(body))
 	if err != nil {
 		errs.Add(1)
 		return

@@ -2,11 +2,14 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"edgealloc/internal/route"
 	"edgealloc/internal/scenario"
 	"edgealloc/internal/serve"
 )
@@ -180,6 +183,109 @@ func TestRunnerOpenLoop(t *testing.T) {
 		}
 	}
 	r.Teardown(ctx)
+}
+
+// TestRunnerResolveDirectDial puts a router in front of two replicas
+// and checks that Resolve mode looks placement up once per session and
+// then bypasses the router entirely: every session is created on its
+// rendezvous owner, slot-advances dial the owner, and teardown cleans
+// the owners out.
+func TestRunnerResolveDirectDial(t *testing.T) {
+	in, _, err := scenario.Rome(scenario.Config{Users: 4, Horizon: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("building instance: %v", err)
+	}
+	replicas := make([]*httptest.Server, 2)
+	urls := make([]string, 2)
+	for i := range replicas {
+		s := serve.New(serve.Config{})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { _ = s.Close() })
+		replicas[i] = ts
+		urls[i] = ts.URL
+	}
+	rt, err := route.New(route.Config{Replicas: urls})
+	if err != nil {
+		t.Fatalf("building router: %v", err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	r := &Runner{Base: front.URL, Sessions: 4, Instance: in, IDPrefix: "rv", Resolve: true}
+	ctx := context.Background()
+	if err := r.Setup(ctx); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	for k, id := range r.ids {
+		if want := rt.OwnerOf(id); r.targets[k] != want {
+			t.Fatalf("session %s resolved to %s, owner is %s", id, r.targets[k], want)
+		}
+	}
+	// Each session must be registered on its owner replica, reachable
+	// without the router.
+	found := 0
+	for _, ts := range replicas {
+		var resp struct {
+			Sessions []string `json:"sessions"`
+		}
+		res, err := http.Get(ts.URL + "/v1/sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		for _, id := range resp.Sessions {
+			if rt.OwnerOf(id) != ts.URL {
+				t.Fatalf("session %s lives on %s, owner is %s", id, ts.URL, rt.OwnerOf(id))
+			}
+			found++
+		}
+	}
+	if found != 4 {
+		t.Fatalf("found %d sessions on the replicas, want 4", found)
+	}
+
+	step, err := r.RunStep(ctx, 100, time.Second)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if step.Completed == 0 || step.Errors != 0 {
+		t.Fatalf("direct-dial open loop: %+v", step)
+	}
+	// Teardown deletes the live population (finished generations stay
+	// behind, as in forwarding mode) — the current ids must be gone.
+	r.Teardown(ctx)
+	live := map[string]bool{}
+	for _, id := range r.ids {
+		live[id] = true
+	}
+	for _, ts := range replicas {
+		var resp struct {
+			Sessions []string `json:"sessions"`
+		}
+		res, err := http.Get(ts.URL + "/v1/sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		for _, id := range resp.Sessions {
+			if live[id] {
+				t.Fatalf("teardown left live session %s on %s", id, ts.URL)
+			}
+		}
+	}
+
+	// Resolve against a bare replica (no /admin/owner) fails setup loudly.
+	bad := &Runner{Base: urls[0], Sessions: 1, Instance: in, Resolve: true}
+	if err := bad.Setup(ctx); err == nil {
+		t.Fatalf("resolve against a non-router target must fail setup")
+	}
 }
 
 func TestRunnerValidation(t *testing.T) {

@@ -81,6 +81,26 @@ func MissingBaselines(rows []DiffRow) []string {
 	return names
 }
 
+// MissingRecords returns the names of defined kernels absent from the
+// baseline dump. The everyday gate run re-measures the base kernels
+// only, so MissingBaselines alone would never notice a scale-tier
+// kernel (StepScale/StepShard/StepDist/…) whose baseline was never
+// recorded; this check makes the committed trajectory's completeness
+// itself part of the gate, independent of what re-ran.
+func MissingRecords(base []Record, specs []Spec) []string {
+	have := make(map[string]bool, len(base))
+	for _, r := range base {
+		have[r.Name] = true
+	}
+	var names []string
+	for _, s := range specs {
+		if !have[s.Name] {
+			names = append(names, s.Name)
+		}
+	}
+	return names
+}
+
 // Regressions returns the rows that fail the gate: ns/op grew by more
 // than threshold (0.25 = +25%) relative to the baseline, or allocs/op
 // grew past the AllocRegression bound.

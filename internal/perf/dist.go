@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"edgealloc/internal/core"
+	"edgealloc/internal/solver/shardrpc"
+)
+
+// The distributed tier measures what moving the shard blocks behind the
+// shardrpc transport (cmd/edgeshard workers) costs relative to solving
+// the same blocks in process. Each grid point runs as a matched pair:
+//
+//   - "inproc": the sharded coordination loop with every block local —
+//     numerically identical to the StepShard kernel at the same (size, S),
+//     re-recorded here so the pair stays self-contained under bench-diff.
+//   - "rpc": the same options with the blocks placed on distWorkers
+//     loopback worker processes (the production ShardHost behind the
+//     production HTTP server). The rpc/inproc ratio is the transport's
+//     end-to-end overhead: JSON codec, loopback HTTP, and the per-round
+//     state sync. The schedule is byte-identical between the two variants
+//     (the parity tests in internal/core pin this), so the pair differs
+//     only in where the block solves run.
+//
+// Workers here are in-process goroutines on the same host, so the rpc
+// numbers measure protocol overhead, not network latency or the
+// multi-host speedup a real pool provides.
+
+// distWorkers is the worker-pool size of the "rpc" variants — matching
+// the three-worker topology the CI dist-soak job runs; blocks are placed
+// round-robin, so S > distWorkers shares workers like a real deployment.
+const distWorkers = 3
+
+// StepDist returns the distributed-coordination kernel at one scaling
+// point and shard count; remote selects the "rpc" variant.
+func StepDist(size ScaleSize, s int, remote bool) func(*testing.B) {
+	return func(b *testing.B) {
+		in, err := SyntheticInstance(size.I, size.J, scaleHorizon, scaleSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := shardOptions(s)
+		if remote {
+			workers := make([]string, distWorkers)
+			for w := range workers {
+				srv := httptest.NewServer(shardrpc.NewServer(core.NewShardHost()))
+				defer srv.Close()
+				workers[w] = srv.URL
+			}
+			opts.ShardWorkers = workers
+		}
+		stepPasses(b, in, opts)
+	}
+}
+
+// DistSpecName names one distributed-coordination kernel; variant is
+// "inproc" or "rpc".
+func DistSpecName(size ScaleSize, variant string) string {
+	return fmt.Sprintf("StepDist/I=%d,J=%d/%s", size.I, size.J, variant)
+}
+
+// DistSpecs lists the distributed tier: the flagship grid point at S = 4
+// and the J = 20000 headroom point at S = 8, each as an inproc/rpc pair.
+func DistSpecs() []Spec {
+	var specs []Spec
+	for _, p := range []struct {
+		size ScaleSize
+		s    int
+	}{
+		{ScaleSize{I: 50, J: 5000}, 4},
+		{ScaleSize{I: 50, J: 20000}, 8},
+	} {
+		specs = append(specs,
+			Spec{Name: DistSpecName(p.size, "inproc"), Bench: StepDist(p.size, p.s, false)},
+			Spec{Name: DistSpecName(p.size, "rpc"), Bench: StepDist(p.size, p.s, true)},
+		)
+	}
+	return specs
+}

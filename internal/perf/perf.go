@@ -174,6 +174,7 @@ func Specs(includeScale bool) []Spec {
 		specs = append(specs, ScaleSpecs()...)
 		specs = append(specs, SparseSpecs()...)
 		specs = append(specs, ShardSpecs()...)
+		specs = append(specs, DistSpecs()...)
 		specs = append(specs, ChurnSpecs()...)
 	}
 	return specs

@@ -60,6 +60,17 @@ func BenchmarkStepShard(b *testing.B) {
 	}
 }
 
+// BenchmarkStepDist exposes the distributed-coordination tier; use
+// -bench 'StepDist/I=50,J=5000/rpc' to pick one variant.
+func BenchmarkStepDist(b *testing.B) {
+	if testing.Short() {
+		b.Skip("distributed tier runs at the flagship and headroom sizes; skipped under -short")
+	}
+	for _, s := range DistSpecs() {
+		b.Run(strings.TrimPrefix(s.Name, "StepDist/"), s.Bench)
+	}
+}
+
 // BenchmarkStepChurn exposes the churn tier; use
 // -bench 'StepChurn/I=50,J=5000/c=5%/incr' to pick one point.
 func BenchmarkStepChurn(b *testing.B) {
@@ -77,7 +88,7 @@ func TestSpecsAreNamedAndRunnable(t *testing.T) {
 		t.Fatalf("Specs(false) = %d kernels, want the %d base kernels", n, base)
 	}
 	specs := Specs(true)
-	want := base + len(ScaleSpecs()) + len(SparseSpecs()) + len(ShardSpecs()) + len(ChurnSpecs())
+	want := base + len(ScaleSpecs()) + len(SparseSpecs()) + len(ShardSpecs()) + len(DistSpecs()) + len(ChurnSpecs())
 	if len(specs) != want {
 		t.Fatalf("Specs(true) = %d kernels, want %d", len(specs), want)
 	}
@@ -129,6 +140,37 @@ func TestDiffFlagsRegressionsOnly(t *testing.T) {
 	for _, want := range []string{"A", "new", "+30.0%", "cur allocs"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("diff table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestMissingRecordsGatesTrajectoryCompleteness pins the gate that
+// catches a bench tier whose baselines were never recorded: the
+// everyday bench-diff run re-measures the base kernels only, so the
+// committed dump must carry a record for every defined kernel.
+func TestMissingRecordsGatesTrajectoryCompleteness(t *testing.T) {
+	specs := Specs(true)
+	base := make([]Record, 0, len(specs))
+	for _, s := range specs {
+		base = append(base, Record{Name: s.Name, NsPerOp: 1})
+	}
+	if missing := MissingRecords(base, specs); len(missing) != 0 {
+		t.Fatalf("complete trajectory flagged: %v", missing)
+	}
+	// Drop the StepDist pair: exactly those names must surface.
+	var pruned []Record
+	for _, r := range base {
+		if !strings.HasPrefix(r.Name, "StepDist/") {
+			pruned = append(pruned, r)
+		}
+	}
+	missing := MissingRecords(pruned, specs)
+	if len(missing) != len(DistSpecs()) {
+		t.Fatalf("MissingRecords = %v, want the %d StepDist kernels", missing, len(DistSpecs()))
+	}
+	for _, name := range missing {
+		if !strings.HasPrefix(name, "StepDist/") {
+			t.Fatalf("unexpected missing kernel %q", name)
 		}
 	}
 }

@@ -160,6 +160,7 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("/v1/sessions/{id}/{rest...}", rt.handleSession)
 	rt.mux.HandleFunc("GET /admin/replicas", rt.handleGetReplicas)
 	rt.mux.HandleFunc("PUT /admin/replicas", rt.handleSetReplicas)
+	rt.mux.HandleFunc("GET /admin/owner", rt.handleOwner)
 	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -319,6 +320,24 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleGetReplicas(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"replicas": rt.Replicas()})
+}
+
+// handleOwner resolves ?session=<id> to its owning replica without
+// forwarding anything. Load generators (internal/loadgen, cmd/edgeload)
+// use it to dial session owners directly, taking the router's forwarding
+// copy off the hot path while keeping placement decisions in one place.
+func (rt *Router) handleOwner(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "session query parameter required")
+		return
+	}
+	owner := rt.OwnerOf(id)
+	if owner == "" {
+		writeError(w, http.StatusServiceUnavailable, "no replicas")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session": id, "owner": owner})
 }
 
 // handleSetReplicas replaces the membership and migrates every session

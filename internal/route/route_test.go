@@ -286,6 +286,37 @@ func TestNormalizeReplica(t *testing.T) {
 	}
 }
 
+// TestAdminOwnerResolvesPlacement covers the ownership-lookup endpoint
+// load generators use to dial session owners directly.
+func TestAdminOwnerResolvesPlacement(t *testing.T) {
+	rt, front, _ := newCluster(t, 3, serve.Config{})
+
+	for k := 0; k < 20; k++ {
+		id := fmt.Sprintf("probe-%d", k)
+		var resp struct {
+			Session string `json:"session"`
+			Owner   string `json:"owner"`
+		}
+		code, raw := doJSON(t, http.MethodGet,
+			front.URL+"/admin/owner?session="+id, nil, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("owner of %s: status %d: %s", id, code, raw)
+		}
+		if resp.Session != id {
+			t.Fatalf("owner of %s echoed session %q", id, resp.Session)
+		}
+		if want := rt.OwnerOf(id); resp.Owner != want {
+			t.Fatalf("owner of %s = %s, want %s", id, resp.Owner, want)
+		}
+	}
+
+	// Missing session parameter is rejected.
+	code, raw := doJSON(t, http.MethodGet, front.URL+"/admin/owner", nil, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("owner without session: status %d: %s", code, raw)
+	}
+}
+
 // --- forwarding ----------------------------------------------------------
 
 // TestRouterPlacesAndForwards drives sessions end to end through the

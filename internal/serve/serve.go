@@ -76,6 +76,12 @@ type Config struct {
 	// (core.Options.Shards); per-session options can also request a
 	// (larger) shard count. 0 keeps the single-program path.
 	Shards int
+	// ShardWorkers lists shard-worker base URLs (cmd/edgeshard) to place
+	// every sharded session's blocks on over RPC
+	// (core.Options.ShardWorkers); empty solves all shards in-process.
+	// Worker failures fold back to local solving, so a dead worker slows
+	// sessions down without failing them.
+	ShardWorkers []string
 	// Incremental makes every session solve slots with the event-driven
 	// incremental tier (core.Options.Incremental): only users whose
 	// attachment changed since the previous slot are re-solved, with the

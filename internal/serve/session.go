@@ -164,6 +164,7 @@ func (o solverOptions) coreOptions(srv *Server) core.Options {
 		FastMath:       o.FastMath || srv.cfg.FastMath,
 		FastMathF32:    o.FastMathF32 || srv.cfg.FastMathF32,
 		Shards:         max(o.Shards, srv.cfg.Shards),
+		ShardWorkers:   srv.cfg.ShardWorkers,
 		Incremental:    o.Incremental || srv.cfg.Incremental,
 		IncrementalTol: math.Max(o.IncrementalTol, srv.cfg.IncrementalTol),
 		Solver: alm.Options{

@@ -1,0 +1,98 @@
+package shard
+
+import "testing"
+
+func TestRangeLen(t *testing.T) {
+	if got := (Range{Lo: 3, Hi: 9}).Len(); got != 6 {
+		t.Fatalf("Len = %d, want 6", got)
+	}
+	if got := (Range{Lo: 4, Hi: 4}).Len(); got != 0 {
+		t.Fatalf("empty Len = %d, want 0", got)
+	}
+}
+
+// TestPartitionEdgeCases pins the clamping and balance rules: contiguous
+// cover, sizes differing by at most one, S clamped into [1, J] (with the
+// J = 0 degenerate case yielding one empty shard).
+func TestPartitionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		J, S      int
+		wantLen   int
+		wantSizes []int // nil = check balance generically
+	}{
+		{"S=1 takes everything", 7, 1, 1, []int{7}},
+		{"even split", 8, 4, 4, []int{2, 2, 2, 2}},
+		{"uneven split", 10, 3, 3, []int{3, 3, 4}},
+		{"uneven split small", 5, 2, 2, []int{2, 3}},
+		{"S=J singleton shards", 4, 4, 4, []int{1, 1, 1, 1}},
+		{"S>J clamps to J", 3, 64, 3, []int{1, 1, 1}},
+		{"S=0 clamps to 1", 5, 0, 1, []int{5}},
+		{"S negative clamps to 1", 5, -2, 1, []int{5}},
+		{"J=0 single empty shard", 0, 3, 1, []int{0}},
+		{"J=0 S=0", 0, 0, 1, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Partition(tc.J, tc.S)
+			if len(got) != tc.wantLen {
+				t.Fatalf("Partition(%d, %d) = %v: %d shards, want %d",
+					tc.J, tc.S, got, len(got), tc.wantLen)
+			}
+			// Contiguous cover of [0, J).
+			if got[0].Lo != 0 || got[len(got)-1].Hi != tc.J {
+				t.Fatalf("Partition(%d, %d) = %v does not cover [0, %d)",
+					tc.J, tc.S, got, tc.J)
+			}
+			for s := 1; s < len(got); s++ {
+				if got[s].Lo != got[s-1].Hi {
+					t.Fatalf("Partition(%d, %d) = %v has a gap before shard %d",
+						tc.J, tc.S, got, s)
+				}
+			}
+			for s, r := range got {
+				if r.Len() != tc.wantSizes[s] {
+					t.Fatalf("Partition(%d, %d) = %v: shard %d has %d users, want %d",
+						tc.J, tc.S, got, s, r.Len(), tc.wantSizes[s])
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionBalancedAndReproducible sweeps (J, S) combinations for the
+// generic invariants: cover, monotone bounds, |size_a − size_b| ≤ 1, and
+// value-identity across calls (the cross-process placement contract).
+func TestPartitionBalancedAndReproducible(t *testing.T) {
+	for J := 0; J <= 40; J++ {
+		for S := 1; S <= 12; S++ {
+			a := Partition(J, S)
+			minLen, maxLen := J, 0
+			total := 0
+			for _, r := range a {
+				if r.Lo < 0 || r.Hi > J || r.Lo > r.Hi {
+					t.Fatalf("Partition(%d, %d): bad range %+v", J, S, r)
+				}
+				total += r.Len()
+				if r.Len() < minLen {
+					minLen = r.Len()
+				}
+				if r.Len() > maxLen {
+					maxLen = r.Len()
+				}
+			}
+			if total != J {
+				t.Fatalf("Partition(%d, %d) covers %d users", J, S, total)
+			}
+			if len(a) > 0 && maxLen-minLen > 1 {
+				t.Fatalf("Partition(%d, %d) = %v: sizes differ by %d", J, S, a, maxLen-minLen)
+			}
+			b := Partition(J, S)
+			for s := range a {
+				if a[s] != b[s] {
+					t.Fatalf("Partition(%d, %d) not reproducible: %v vs %v", J, S, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package shardrpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzShardRPCCodec pins the codec's byte-stability property: for any
+// input that one of the wire decoders accepts, re-encoding the decoded
+// value and decoding again must succeed and reproduce the same bytes —
+// Encode(Decode(x)) is a fixed point of Decode∘Encode. This is what
+// makes a spec replay after a worker restart land the worker on exactly
+// the state the coordinator's mirror holds.
+func FuzzShardRPCCodec(f *testing.F) {
+	f.Add(EncodeBlockSpec(validSpec()))
+	f.Add(EncodeSolveRequest(&SolveRequest{ID: "b", Slot: 2, Gen: 1, Rho: 4, Target: []float64{0.1 + 0.2, 3}}))
+	f.Add(EncodeSolveResponse(&SolveResponse{Totals: []float64{1e-300, 2}, Outer: 3, Inner: 9}))
+	f.Add(EncodeStateResponse(&StateResponse{X: []float64{0, 1.5}, Theta: []float64{-0.25}}))
+	f.Add([]byte(`{"id":"x","ni":1,"nj":0,"eps2":0.01,"rowPtr":[0,0],"solver":{}}`))
+	f.Add([]byte(`{"id":"","rho":-1}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodeBlockSpec(data); err == nil {
+			enc := EncodeBlockSpec(s)
+			s2, err := DecodeBlockSpec(enc)
+			if err != nil {
+				t.Fatalf("spec re-decode failed: %v\nenc: %s", err, enc)
+			}
+			if re := EncodeBlockSpec(s2); !bytes.Equal(re, enc) {
+				t.Fatalf("spec codec not byte-stable:\n 1st %s\n 2nd %s", enc, re)
+			}
+		}
+		if r, err := DecodeSolveRequest(data); err == nil {
+			enc := EncodeSolveRequest(r)
+			r2, err := DecodeSolveRequest(enc)
+			if err != nil {
+				t.Fatalf("solve request re-decode failed: %v\nenc: %s", err, enc)
+			}
+			if re := EncodeSolveRequest(r2); !bytes.Equal(re, enc) {
+				t.Fatalf("solve request codec not byte-stable:\n 1st %s\n 2nd %s", enc, re)
+			}
+		}
+		if r, err := DecodeSolveResponse(data); err == nil {
+			enc := EncodeSolveResponse(r)
+			r2, err := DecodeSolveResponse(enc)
+			if err != nil {
+				t.Fatalf("solve response re-decode failed: %v\nenc: %s", err, enc)
+			}
+			if re := EncodeSolveResponse(r2); !bytes.Equal(re, enc) {
+				t.Fatalf("solve response codec not byte-stable:\n 1st %s\n 2nd %s", enc, re)
+			}
+		}
+		if r, err := DecodeStateResponse(data); err == nil {
+			enc := EncodeStateResponse(r)
+			r2, err := DecodeStateResponse(enc)
+			if err != nil {
+				t.Fatalf("state response re-decode failed: %v\nenc: %s", err, enc)
+			}
+			if re := EncodeStateResponse(r2); !bytes.Equal(re, enc) {
+				t.Fatalf("state response codec not byte-stable:\n 1st %s\n 2nd %s", enc, re)
+			}
+		}
+	})
+}

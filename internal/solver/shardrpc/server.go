@@ -1,0 +1,164 @@
+package shardrpc
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds a request body. Specs scale with the block's
+// packed size (~20 bytes per nonzero per array); 256 MiB covers blocks
+// three orders of magnitude past the largest benchmarked tier while
+// keeping a hostile peer from exhausting worker memory.
+const maxBodyBytes = 256 << 20
+
+// Host is the worker-side implementation of the shard RPC: it owns the
+// hosted blocks and runs their solves. core.ShardHost is the production
+// implementation. A Host must be safe for concurrent calls — the
+// coordinator solves its blocks on parallel goroutines.
+type Host interface {
+	// BeginSlot installs (or replaces) the block described by the spec.
+	// The host retains the spec's slices.
+	BeginSlot(spec *BlockSpec) error
+	// Solve runs one consensus x-step of a hosted block. A request whose
+	// (ID, Slot, Gen) is not hosted fails with CodeUnknownBlock.
+	Solve(req *SolveRequest) (*SolveResponse, error)
+	// State returns a hosted block's warm iterate and demand duals.
+	State(req *StateRequest) (*StateResponse, error)
+	// Commit marks the slot committed on the block.
+	Commit(req *CommitRequest) error
+}
+
+// Server is the HTTP face of a Host: the four /v1/shard/ endpoints,
+// JSON envelopes on both success and failure. Mount it on a mux (or use
+// it as the root handler) in cmd/edgeshard.
+type Server struct {
+	host Host
+	mux  *http.ServeMux
+}
+
+// NewServer wraps a host.
+func NewServer(h Host) *Server {
+	s := &Server{host: h, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/shard/begin-slot", s.handleBeginSlot)
+	s.mux.HandleFunc("POST /v1/shard/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/shard/state", s.handleState)
+	s.mux.HandleFunc("POST /v1/shard/commit-slot", s.handleCommit)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleBeginSlot(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec, err := DecodeBlockSpec(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.host.BeginSlot(spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req, err := DecodeSolveRequest(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.host.Solve(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeRaw(w, EncodeSolveResponse(resp))
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req StateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, errf("state: %v", err))
+		return
+	}
+	resp, err := s.host.State(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeRaw(w, EncodeStateResponse(resp))
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req CommitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, errf("commit: %v", err))
+		return
+	}
+	if err := s.host.Commit(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, errf("reading request: %v", err)
+	}
+	return body, nil
+}
+
+// writeError maps structured errors onto HTTP statuses: unknown block →
+// 404 (the client re-pushes), bad request → 400 (permanent), anything
+// else → 500 (retryable).
+func writeError(w http.ResponseWriter, err error) {
+	e := &Error{}
+	if !errors.As(err, &e) {
+		e = &Error{Code: CodeInternal, Msg: err.Error()}
+	}
+	status := http.StatusInternalServerError
+	switch e.Code {
+	case CodeUnknownBlock:
+		status = http.StatusNotFound
+	case CodeBadRequest:
+		status = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeRaw(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}

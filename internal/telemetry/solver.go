@@ -20,6 +20,11 @@ import "strconv"
 //	edgealloc_solver_shard_outer_iterations_total  counter  shard coordination (dual-ascent) iterations
 //	edgealloc_solver_shard_max_residual            gauge    final consensus/capacity residual of the last slot
 //	edgealloc_solver_shard_solve_seconds           histogram per-shard cumulative solve time per slot
+//	edgealloc_solver_shardrpc_calls_total          counter  shard-RPC attempts (per HTTP attempt, retries included)
+//	edgealloc_solver_shardrpc_retries_total        counter  shard-RPC re-attempts after a retryable failure
+//	edgealloc_solver_shardrpc_bytes_total          counter  shard-RPC request+response body bytes
+//	edgealloc_solver_shardrpc_seconds_total        counter  cumulative shard-RPC wall time
+//	edgealloc_solver_shardrpc_fallbacks_total      counter  remote blocks folded back into local solving
 //	edgealloc_solver_incr_frozen_users             counter  users held at their carried decision (incremental path)
 //	edgealloc_solver_incr_readmitted_users         counter  frozen users re-admitted by the soundness gate
 //	edgealloc_solver_incr_solve_seconds            histogram per-slot solve latency of incremental slots
@@ -45,6 +50,11 @@ type SolverMetrics struct {
 	ShardIters   *Counter
 	ShardResid   *Gauge
 	ShardSolve   *Histogram
+	RPCCalls     *Counter
+	RPCRetries   *Counter
+	RPCBytes     *Counter
+	RPCSeconds   *Counter
+	RPCFallbacks *Counter
 	IncrFrozen   *Counter
 	IncrReadmit  *Counter
 	IncrSolve    *Histogram
@@ -83,6 +93,16 @@ func NewSolverMetrics(r *Registry) *SolverMetrics {
 			"Final max consensus/capacity residual of the most recent sharded slot."),
 		ShardSolve: r.Histogram("edgealloc_solver_shard_solve_seconds",
 			"Per-shard cumulative subproblem solve time within one slot, in seconds.", nil),
+		RPCCalls: r.Counter("edgealloc_solver_shardrpc_calls_total",
+			"Shard-RPC HTTP attempts (retries counted individually; zero without -shard-workers)."),
+		RPCRetries: r.Counter("edgealloc_solver_shardrpc_retries_total",
+			"Shard-RPC re-attempts after a retryable failure (timeouts, transport errors, 5xx)."),
+		RPCBytes: r.Counter("edgealloc_solver_shardrpc_bytes_total",
+			"Shard-RPC request and response body bytes."),
+		RPCSeconds: r.Counter("edgealloc_solver_shardrpc_seconds_total",
+			"Cumulative wall time spent in shard-RPC calls, in seconds."),
+		RPCFallbacks: r.Counter("edgealloc_solver_shardrpc_fallbacks_total",
+			"Remote shard blocks folded back into local solving after exhausted retries."),
 		IncrFrozen: r.Counter("edgealloc_solver_incr_frozen_users",
 			"Users held at their carried decision by the incremental path (zero when incremental solving is off)."),
 		IncrReadmit: r.Counter("edgealloc_solver_incr_readmitted_users",
@@ -137,6 +157,29 @@ func (m *SolverMetrics) ObserveShards(iters int, maxResidual float64, blockSecon
 	for _, s := range blockSeconds {
 		m.ShardSolve.Observe(s)
 	}
+}
+
+// ObserveShardRPCAttempt records one shard-RPC HTTP attempt: its wall
+// time, the body bytes moved, and whether it was a retry.
+func (m *SolverMetrics) ObserveShardRPCAttempt(seconds float64, bytes int64, retry bool) {
+	if m == nil {
+		return
+	}
+	m.RPCCalls.Inc()
+	m.RPCBytes.Add(float64(bytes))
+	m.RPCSeconds.Add(seconds)
+	if retry {
+		m.RPCRetries.Inc()
+	}
+}
+
+// CountShardRPCFallback tallies one remote block folded back into local
+// solving.
+func (m *SolverMetrics) CountShardRPCFallback() {
+	if m == nil {
+		return
+	}
+	m.RPCFallbacks.Inc()
 }
 
 // ObserveIncremental records one incremental-path slot: users held

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Distributed-shard soak: launch real edgeshard worker processes, point
+# the race-instrumented TestDistSoak at them, and kill -9 / restart
+# workers the whole time. The test drives full horizons through the
+# distributed coordinator and pins the result against the in-process
+# reference (conformance-clean, cost within 1e-8), so this certifies the
+# failure-handling paths — replay-on-restart, fold-to-local, rejoin —
+# under the race detector with genuine process death, not simulated
+# handler swaps.
+#
+#   scripts/dist_soak.sh            # 3 workers, chaos every 3s
+#   DIST_SOAK_LOG=soak.log scripts/dist_soak.sh
+#
+# Tunables (env): DIST_SOAK_PORT_BASE (default 19471), DIST_SOAK_KILL_EVERY
+# (seconds between kills, default 3), DIST_SOAK_TIMEOUT (go test -timeout,
+# default 15m).
+set -u
+
+WORKERS=3
+PORT_BASE="${DIST_SOAK_PORT_BASE:-19471}"
+KILL_EVERY="${DIST_SOAK_KILL_EVERY:-3}"
+TEST_TIMEOUT="${DIST_SOAK_TIMEOUT:-15m}"
+LOG="${DIST_SOAK_LOG:-dist-soak.log}"
+
+cd "$(dirname "$0")/.."
+
+BIN_DIR="$(mktemp -d)"
+PIDS=()
+CHAOS_PID=""
+
+cleanup() {
+    [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2>/dev/null
+    for pid in "${PIDS[@]:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+    done
+    wait 2>/dev/null
+    rm -rf "$BIN_DIR"
+}
+trap cleanup EXIT INT TERM
+
+log() { echo "dist-soak: $*" | tee -a "$LOG"; }
+
+: > "$LOG"
+log "building cmd/edgeshard"
+if ! go build -o "$BIN_DIR/edgeshard" ./cmd/edgeshard >>"$LOG" 2>&1; then
+    log "FAIL: edgeshard build"
+    exit 1
+fi
+
+port_of() { echo $((PORT_BASE + $1)); }
+
+start_worker() { # start_worker <index>
+    local port
+    port="$(port_of "$1")"
+    "$BIN_DIR/edgeshard" -addr "127.0.0.1:$port" -drain-wait 1s >>"$LOG" 2>&1 &
+    PIDS[$1]=$!
+}
+
+wait_healthy() { # wait_healthy <index> — bounded probe of /healthz
+    local port deadline
+    port="$(port_of "$1")"
+    deadline=$((SECONDS + 30))
+    while [ "$SECONDS" -lt "$deadline" ]; do
+        if curl -fsS -m 2 "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    log "FAIL: worker $1 (port $port) never became healthy"
+    return 1
+}
+
+URLS=""
+for i in $(seq 0 $((WORKERS - 1))); do
+    start_worker "$i"
+    wait_healthy "$i" || exit 1
+    URLS="${URLS:+$URLS,}http://127.0.0.1:$(port_of "$i")"
+done
+log "workers healthy: $URLS"
+
+# Chaos: forever kill -9 one worker round-robin, pause, restart it on the
+# same port. Restarts land mid-horizon, so the coordinator exercises the
+# dead-worker fold, the probe path, and the spec replay on rejoin.
+chaos() {
+    local victim=0 port
+    while true; do
+        sleep "$KILL_EVERY"
+        port="$(port_of "$victim")"
+        kill -9 "${PIDS[$victim]}" 2>/dev/null
+        echo "dist-soak: chaos killed worker $victim (port $port)" >>"$LOG"
+        sleep 1
+        "$BIN_DIR/edgeshard" -addr "127.0.0.1:$port" -drain-wait 1s >>"$LOG" 2>&1 &
+        PIDS[$victim]=$!
+        victim=$(((victim + 1) % WORKERS))
+    done
+}
+chaos &
+CHAOS_PID=$!
+
+log "running TestDistSoak under -race (timeout $TEST_TIMEOUT, kill every ${KILL_EVERY}s)"
+DIST_SOAK_WORKERS="$URLS" go test -race -count=1 -timeout "$TEST_TIMEOUT" \
+    -run '^TestDistSoak$' -v ./internal/core/ 2>&1 | tee -a "$LOG"
+status=${PIPESTATUS[0]}
+
+if [ "$status" -ne 0 ]; then
+    log "FAIL (exit $status); full log in $LOG"
+else
+    log "PASS"
+fi
+exit "$status"
